@@ -1,0 +1,129 @@
+"""Ablations of the reproduction's own design choices (DESIGN.md §4-5):
+
+* **capture effect** — ns-2-style power capture (CPThresh=10) vs. a
+  capture-free collision model; capture is what keeps dense multicast
+  trees deliverable;
+* **route-flap damping** — the switch threshold + hold-down the DES
+  agents add on top of the pure rule; without it distributed SS-SPST-E
+  churns and loses delivery;
+* **power control** — SS-SPST-E's energy advantage over the on-demand
+  baselines comes jointly from power-controlled data ranges and pruning;
+  forcing full-range data transmissions quantifies that.
+"""
+
+import dataclasses
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import build_network, run_scenario
+from repro.metrics.hub import MetricsHub
+from repro.protocols.registry import make_agent_factory
+from repro.protocols.ss_spst import SSSPSTConfig
+from repro.traffic.cbr import CbrSource
+
+BASE = dict(sim_time=90.0, v_max=5.0, group_size=30)
+SEEDS = (1, 2)
+
+
+def _mean_pdr_epp(protocol, seeds=SEEDS, ss_config=None, **kw):
+    pdrs, epps = [], []
+    for seed in seeds:
+        cfg = ScenarioConfig.quick(protocol=protocol, seed=seed, **{**BASE, **kw})
+        if ss_config is None:
+            r = run_scenario(cfg)
+            pdrs.append(r.summary.pdr)
+            epps.append(r.summary.energy_per_packet_mj)
+            continue
+        sim, network = build_network(cfg)
+        hub = MetricsHub(n_receivers=len(network.receivers))
+        hub.set_packet_size_hint(cfg.packet_bytes)
+        network.hub = hub
+        network.attach_agents(make_agent_factory(protocol, ss_config=ss_config))
+        network.start()
+        traffic = CbrSource(
+            network, rate_kbps=cfg.rate_kbps, packet_bytes=cfg.packet_bytes,
+            start_time=cfg.traffic_start,
+        )
+        traffic.start()
+        sim.run(until=cfg.sim_time)
+        s = hub.summary(network.total_energy())
+        pdrs.append(s.pdr)
+        epps.append(s.energy_per_packet_mj)
+    return sum(pdrs) / len(pdrs), sum(epps) / len(epps)
+
+
+def _collisions(protocol, capture_threshold, seed=1, **kw):
+    cfg = ScenarioConfig.quick(
+        protocol=protocol, seed=seed, capture_threshold=capture_threshold,
+        **{**BASE, **kw},
+    )
+    r = run_scenario(cfg)
+    return r.frames_collided, r.summary.pdr
+
+
+def test_capture_effect(benchmark):
+    """ns-2-style power capture converts overlapping receptions whose
+    power ratio exceeds CPThresh into deliveries.  The guaranteed effect
+    is mechanical — strictly fewer corrupted frames; the PDR gain follows
+    in contention-heavy scenarios (flooding, large group)."""
+
+    def _run():
+        with_cap = _collisions("flooding", 10.0, group_size=50)
+        no_cap = _collisions("flooding", 1e9, group_size=50)
+        return with_cap, no_cap
+
+    (coll_c, pdr_c), (coll_n, pdr_n) = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(f"\ncollisions with capture={coll_c} (pdr {pdr_c:.3f})  "
+          f"without={coll_n} (pdr {pdr_n:.3f})")
+    assert coll_c < coll_n
+    assert pdr_c >= pdr_n - 0.02
+
+
+def _churn(protocol, ss_config, seed=1, **kw):
+    cfg = ScenarioConfig.quick(protocol=protocol, seed=seed, **{**BASE, **kw})
+    sim, network = build_network(cfg)
+    hub = MetricsHub(n_receivers=len(network.receivers))
+    hub.set_packet_size_hint(cfg.packet_bytes)
+    network.hub = hub
+    network.attach_agents(make_agent_factory(protocol, ss_config=ss_config))
+    network.start()
+    CbrSource(
+        network, rate_kbps=cfg.rate_kbps, packet_bytes=cfg.packet_bytes,
+        start_time=cfg.traffic_start,
+    ).start()
+    sim.run(until=cfg.sim_time)
+    return sum(n.agent.parent_changes for n in network.nodes), hub.summary(
+        network.total_energy()
+    )
+
+
+def test_flap_damping(benchmark):
+    """Damping's mechanical effect: it must cut parent churn sharply.
+
+    (Its PDR effect is configuration-dependent — damping wins in most
+    cells of the A/B grid but not all — so the robust claim is churn.)
+    """
+    damped = SSSPSTConfig(switch_threshold=0.10, hold_down_intervals=3.0)
+    undamped = SSSPSTConfig(switch_threshold=0.0, hold_down_intervals=0.0)
+
+    def _run():
+        cd, sd = _churn("ss-spst-e", damped)
+        cu, su = _churn("ss-spst-e", undamped)
+        return cd, sd.pdr, cu, su.pdr
+
+    cd, pd, cu, pu = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(f"\nchurn damped={cd} (pdr {pd:.3f})  undamped={cu} (pdr {pu:.3f})")
+    assert cd < cu * 0.8  # damping removes at least 20% of parent churn
+
+
+def test_power_control_value(benchmark):
+    """SS-SPST-E (power controlled) vs flooding (full power, maximal
+    redundancy): the energy gap is the headline of the whole paper."""
+
+    def _run():
+        _, e_ss = _mean_pdr_epp("ss-spst-e")
+        _, e_flood = _mean_pdr_epp("flooding")
+        return e_ss, e_flood
+
+    e_ss, e_flood = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(f"\nenergy/packet: ss-spst-e={e_ss:.1f} mJ  flooding={e_flood:.1f} mJ")
+    assert e_ss < e_flood * 0.6

@@ -1,0 +1,39 @@
+"""Bench for the worked examples (Figures 1-6): stabilization of the
+reconstructed 10-node topology under all four metrics, Figure 5's
+discard-steering check, and the gap to the exhaustive E_min optimum."""
+
+from repro.experiments.paper_examples import (
+    format_examples_report,
+    optimality_gap,
+    run_figure1_examples,
+    run_figure5_example,
+)
+
+
+def test_worked_examples(benchmark):
+    outcomes = benchmark.pedantic(run_figure1_examples, rounds=3, iterations=1)
+    print()
+    print(format_examples_report())
+
+    # Example 1: 3 rounds for plain SS-SPST.
+    assert outcomes["hop"].rounds == 3
+    # Examples 2-5: refinement costs rounds; ordering hop <= T <= F.
+    assert outcomes["hop"].rounds <= outcomes["tx"].rounds <= outcomes["farthest"].rounds
+    # Example 5: the E tree is cheapest under the E metric and silences
+    # node 4 (whose neighborhood holds the overhearing non-members 8, 9).
+    e_costs = {name: oc.e_cost for name, oc in outcomes.items()}
+    assert e_costs["energy"] == min(e_costs.values())
+    assert 4 not in outcomes["energy"].forwarding
+
+    # Figure 5: only the E metric avoids the noisy parent.
+    parents = run_figure5_example()
+    assert parents["energy"] == 2
+    assert all(parents[m] == 1 for m in ("hop", "tx", "farthest"))
+
+
+def test_e_min_gap(benchmark):
+    gap = benchmark.pedantic(optimality_gap, rounds=1, iterations=1)
+    print(f"\nE_min gap ratio: {gap['ratio']:.4f}")
+    # The distributed fixpoint must be within 25% of the global optimum on
+    # the worked example (it is exactly optimal in our reconstruction).
+    assert gap["ratio"] <= 1.25

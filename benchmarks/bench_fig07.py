@@ -1,0 +1,7 @@
+"""Bench regenerating the paper's Figure 7 series (see FIGURES['fig07'])."""
+
+from conftest import figure_bench
+
+
+def test_fig07(benchmark, run_cache):
+    figure_bench(benchmark, "fig07", run_cache)

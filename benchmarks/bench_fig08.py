@@ -1,0 +1,7 @@
+"""Bench regenerating the paper's Figure 8 series (see FIGURES['fig08'])."""
+
+from conftest import figure_bench
+
+
+def test_fig08(benchmark, run_cache):
+    figure_bench(benchmark, "fig08", run_cache)

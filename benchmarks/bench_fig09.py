@@ -1,0 +1,7 @@
+"""Bench regenerating the paper's Figure 9 series (see FIGURES['fig09'])."""
+
+from conftest import figure_bench
+
+
+def test_fig09(benchmark, run_cache):
+    figure_bench(benchmark, "fig09", run_cache)

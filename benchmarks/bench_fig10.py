@@ -1,0 +1,7 @@
+"""Bench regenerating the paper's Figure 10 series (see FIGURES['fig10'])."""
+
+from conftest import figure_bench
+
+
+def test_fig10(benchmark, run_cache):
+    figure_bench(benchmark, "fig10", run_cache)

@@ -1,0 +1,7 @@
+"""Bench regenerating the paper's Figure 11 series (see FIGURES['fig11'])."""
+
+from conftest import figure_bench
+
+
+def test_fig11(benchmark, run_cache):
+    figure_bench(benchmark, "fig11", run_cache)

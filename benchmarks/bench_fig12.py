@@ -1,0 +1,7 @@
+"""Bench regenerating the paper's Figure 12 series (see FIGURES['fig12'])."""
+
+from conftest import figure_bench
+
+
+def test_fig12(benchmark, run_cache):
+    figure_bench(benchmark, "fig12", run_cache)

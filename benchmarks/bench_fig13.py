@@ -1,0 +1,7 @@
+"""Bench regenerating the paper's Figure 13 series (see FIGURES['fig13'])."""
+
+from conftest import figure_bench
+
+
+def test_fig13(benchmark, run_cache):
+    figure_bench(benchmark, "fig13", run_cache)

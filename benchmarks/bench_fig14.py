@@ -1,0 +1,7 @@
+"""Bench regenerating the paper's Figure 14 series (see FIGURES['fig14'])."""
+
+from conftest import figure_bench
+
+
+def test_fig14(benchmark, run_cache):
+    figure_bench(benchmark, "fig14", run_cache)

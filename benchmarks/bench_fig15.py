@@ -1,0 +1,7 @@
+"""Bench regenerating the paper's Figure 15 series (see FIGURES['fig15'])."""
+
+from conftest import figure_bench
+
+
+def test_fig15(benchmark, run_cache):
+    figure_bench(benchmark, "fig15", run_cache)

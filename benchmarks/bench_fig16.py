@@ -1,0 +1,7 @@
+"""Bench regenerating the paper's Figure 16 series (see FIGURES['fig16'])."""
+
+from conftest import figure_bench
+
+
+def test_fig16(benchmark, run_cache):
+    figure_bench(benchmark, "fig16", run_cache)

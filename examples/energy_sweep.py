@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Reproduce a full paper figure from the command line.
+
+Runs any of the ten evaluation figures (Figures 7-16) at quick or paper
+scale and prints the series table, the ASCII chart, and the shape-check
+verdicts.
+
+Usage::
+
+    python examples/energy_sweep.py fig09            # quick scale
+    python examples/energy_sweep.py fig16 --full     # paper scale (slow!)
+    python examples/energy_sweep.py --list
+"""
+
+import sys
+
+from repro.analysis import ascii_plot, shape_report
+from repro.experiments.figures import FIGURES
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:]]
+    if "--list" in args or not args:
+        for fid, fig in sorted(FIGURES.items()):
+            print(f"{fid}: {fig.title}")
+        if not args:
+            print("\nusage: energy_sweep.py <fig_id> [--full]")
+        return
+
+    fig_id = args[0]
+    if fig_id not in FIGURES:
+        raise SystemExit(f"unknown figure {fig_id!r}; try --list")
+    quick = "--full" not in args
+    fig = FIGURES[fig_id]
+    print(f"{fig.title} — {'quick' if quick else 'paper'} scale")
+    result = fig.run(quick=quick)
+    print()
+    print(result.format_table(fig.fig_id))
+    print(ascii_plot(result.x_values, result.series, y_label=fig.y_name, x_label=fig.x_name))
+    print(shape_report(fig.check(result)))
+    if fig.notes:
+        print(f"\nnote: {fig.notes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Result presentation: ASCII plots and report tables.
+
+Matplotlib-free by design (the execution environment is offline); the
+benches print gnuplot-style numeric series — the same rows the paper's
+figures plot — plus a quick ASCII rendering for eyeballing trends.
+"""
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.stats import CiSummary, mean_ci, sweep_cis, dominates
+from repro.analysis.report import shape_report, series_table
+
+__all__ = [
+    "ascii_plot",
+    "shape_report",
+    "series_table",
+    "CiSummary",
+    "mean_ci",
+    "sweep_cis",
+    "dominates",
+]

@@ -1,0 +1,58 @@
+"""Minimal ASCII line plots for sweep results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render one or more series as an ASCII chart.
+
+    Each series gets a marker (legend printed below); y is auto-scaled
+    over the finite values present.
+    """
+    finite: List[float] = [
+        y for ys in series.values() for y in ys if y == y and abs(y) != float("inf")
+    ]
+    if not finite:
+        return "(no finite data)"
+    lo, hi = min(finite), max(finite)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    n = len(x_values)
+    for si, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for i, y in enumerate(ys):
+            if y != y or abs(y) == float("inf"):
+                continue
+            col = int(round(i * (width - 1) / max(n - 1, 1)))
+            row = int(round((hi - y) * (height - 1) / (hi - lo)))
+            grid[row][col] = marker
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for r, row in enumerate(grid):
+        y_tick = hi - r * (hi - lo) / (height - 1)
+        lines.append(f"{y_tick:10.3f} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    xt = " " * 12 + f"{x_values[0]:g}" + " " * max(
+        1, width - len(f"{x_values[0]:g}") - len(f"{x_values[-1]:g}")
+    ) + f"{x_values[-1]:g}"
+    lines.append(xt)
+    if x_label:
+        lines.append(" " * 12 + x_label)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)

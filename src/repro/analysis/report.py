@@ -1,0 +1,20 @@
+"""Report helpers: series tables and shape-check summaries."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.sweeps import SweepResult
+
+
+def series_table(result: SweepResult, title: str = "") -> str:
+    """The gnuplot-style numeric rows the paper's figures plot."""
+    return result.format_table(title)
+
+
+def shape_report(checks: Dict[str, bool]) -> str:
+    """Human-readable pass/fail list of a figure's shape checks."""
+    lines = []
+    for desc, ok in checks.items():
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {desc}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Statistical aggregation for sweep results.
+
+The paper plots seed-averaged points without error bars; for a careful
+reproduction we also expose confidence intervals (Student-t over seeds) so
+shape claims can be checked against overlap rather than point estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.sweeps import SweepResult
+
+
+@dataclass(frozen=True)
+class CiSummary:
+    """Mean with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def overlaps(self, other: "CiSummary") -> bool:
+        return self.low <= other.high and other.low <= self.high
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> CiSummary:
+    """Student-t confidence interval over a (small) sample."""
+    vals = [v for v in values if v == v and abs(v) != float("inf")]
+    n = len(vals)
+    if n == 0:
+        return CiSummary(float("nan"), float("nan"), 0)
+    mean = sum(vals) / n
+    if n == 1:
+        return CiSummary(mean, float("inf"), 1)
+    var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+    try:
+        from scipy import stats as sstats
+
+        t = float(sstats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    except Exception:  # pragma: no cover - scipy is a hard dep, but be safe
+        t = 2.0
+    return CiSummary(mean, t * math.sqrt(var / n), n)
+
+
+def sweep_cis(
+    result: SweepResult,
+    extract,
+    confidence: float = 0.95,
+) -> Dict[Tuple[str, float], CiSummary]:
+    """Per-(protocol, x) confidence intervals from a sweep's raw runs."""
+    out: Dict[Tuple[str, float], CiSummary] = {}
+    for (proto, x), runs in result.raw.items():
+        out[(proto, x)] = mean_ci([extract(r) for r in runs], confidence)
+    return out
+
+
+def dominates(
+    result: SweepResult,
+    extract,
+    better: str,
+    worse: str,
+    direction: str = "lower",
+    confidence: float = 0.90,
+) -> List[bool]:
+    """Per-x: does ``better`` beat ``worse`` with CI separation?
+
+    ``direction='lower'`` means smaller values win (energy, delay).
+    Entries are True where the winner's CI clears the loser's CI without
+    overlap; used by the stricter variants of the shape checks.
+    """
+    cis = sweep_cis(result, extract, confidence)
+    verdicts = []
+    for x in result.x_values:
+        b, w = cis[(better, x)], cis[(worse, x)]
+        if direction == "lower":
+            verdicts.append(b.high < w.low)
+        else:
+            verdicts.append(b.low > w.high)
+    return verdicts

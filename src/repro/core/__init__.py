@@ -1,0 +1,83 @@
+"""The paper's core contribution: energy-aware self-stabilizing SPST.
+
+Contents:
+
+* :mod:`repro.core.state` — per-node protocol state ``(parent, cost, hop)``
+  and helpers to derive children / member flags from a state vector;
+* :mod:`repro.core.views` — the information interface the algorithm reads
+  (globally in the round model, from beacons in the DES protocols);
+* :mod:`repro.core.metrics` — the four cost metrics: hop (SS-SPST),
+  link transmission energy (SS-SPST-T), costliest-child node energy
+  (SS-SPST-F), and the proposed overhearing-aware metric (SS-SPST-E);
+* :mod:`repro.core.rules` — the guarded self-stabilizing update rule
+  (paper section 5);
+* :mod:`repro.core.rounds` — synchronous and central-daemon round
+  executors with stabilization accounting;
+* :mod:`repro.core.legitimacy` — the legitimate-state predicate;
+* :mod:`repro.core.convergence` — Lemma 1-3 checkers (convergence,
+  closure, loop-freedom);
+* :mod:`repro.core.examples` — reconstruction of the worked example
+  (Figures 1-6) and the Figure-5 discard-energy example.
+"""
+
+from repro.core.state import NodeState, StateVector, derive_children, derive_flags
+from repro.core.views import GlobalView, NodeView
+from repro.core.metrics import (
+    CostMetric,
+    HopMetric,
+    TxEnergyMetric,
+    FarthestChildMetric,
+    EnergyAwareMetric,
+    metric_by_name,
+    METRIC_NAMES,
+)
+from repro.core.rules import compute_update, guard_violated, H_MAX
+from repro.core.rounds import (
+    SyncExecutor,
+    CentralDaemonExecutor,
+    RandomizedDaemonExecutor,
+    StabilizationResult,
+    fresh_states,
+    arbitrary_states,
+)
+from repro.core.legitimacy import is_legitimate, extract_tree
+from repro.core.faults import EdgeFault, NodeCrash, FaultRunResult, run_with_faults
+from repro.core.convergence import (
+    check_convergence,
+    check_closure,
+    check_loop_freedom,
+)
+
+__all__ = [
+    "NodeState",
+    "StateVector",
+    "derive_children",
+    "derive_flags",
+    "GlobalView",
+    "NodeView",
+    "CostMetric",
+    "HopMetric",
+    "TxEnergyMetric",
+    "FarthestChildMetric",
+    "EnergyAwareMetric",
+    "metric_by_name",
+    "METRIC_NAMES",
+    "compute_update",
+    "guard_violated",
+    "H_MAX",
+    "SyncExecutor",
+    "CentralDaemonExecutor",
+    "RandomizedDaemonExecutor",
+    "StabilizationResult",
+    "fresh_states",
+    "arbitrary_states",
+    "is_legitimate",
+    "extract_tree",
+    "check_convergence",
+    "check_closure",
+    "check_loop_freedom",
+    "EdgeFault",
+    "NodeCrash",
+    "FaultRunResult",
+    "run_with_faults",
+]

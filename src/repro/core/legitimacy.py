@@ -1,0 +1,56 @@
+"""The legitimate-state predicate (Definition 1) and tree extraction.
+
+A global state is *legitimate* iff every node's state equals what the
+update rule computes from its neighbors' states — i.e. the state vector is
+a fixpoint of the rule — and, when the topology is connected, the parent
+pointers form a spanning tree rooted at the source.  Closure (Lemma 2) is
+then immediate: a fixpoint does not move.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.metrics import CostMetric
+from repro.core.rules import COST_TOL, compute_update
+from repro.core.state import NodeState
+from repro.core.views import GlobalView
+from repro.graph.topology import Topology
+from repro.graph.tree import TreeAssignment
+
+
+def is_legitimate(
+    topo: Topology,
+    metric: CostMetric,
+    states: Sequence[NodeState],
+) -> bool:
+    """Fixpoint test: no node's guard is violated."""
+    view = GlobalView(topo, states)
+    for v in range(topo.n):
+        target = compute_update(topo, metric, view, v)
+        if not states[v].approx_equals(target, tol=COST_TOL):
+            return False
+    return True
+
+
+def extract_tree(topo: Topology, states: Sequence[NodeState]) -> Optional[TreeAssignment]:
+    """Parent pointers as a validated tree, or None if they are not one."""
+    try:
+        return TreeAssignment(topo, [s.parent for s in states])
+    except ValueError:
+        return None
+
+
+def violations(
+    topo: Topology,
+    metric: CostMetric,
+    states: Sequence[NodeState],
+) -> list:
+    """Nodes whose guard is violated, with (current, target) — debugging aid."""
+    view = GlobalView(topo, states)
+    out = []
+    for v in range(topo.n):
+        target = compute_update(topo, metric, view, v)
+        if not states[v].approx_equals(target, tol=COST_TOL):
+            out.append((v, states[v], target))
+    return out

@@ -1,0 +1,270 @@
+"""The four cost metrics of the paper (section 4).
+
+All metrics expose the same interface:
+
+* ``join_cost(view, v, u)`` — the overhead cost ``oc(v, u) = oc_u +
+  deltaE_u(v)`` of node ``v`` choosing ``u`` as its parent, where
+  ``deltaE_u(v)`` is "the energy cost difference experienced by node u with
+  and without v as its child" (section 5).  When ``v`` already is ``u``'s
+  child the marginal is computed against ``u``-without-``v``, so staying
+  and switching are compared fairly.
+* ``node_cost(...)`` / ``tree_cost(topo, tree)`` — the static cost of a
+  settled tree (the quantity Lemma 1/2 reason about).
+* ``infinity(topo)`` — the ``OC_max`` assigned to disconnected nodes;
+  strictly larger than any achievable tree cost.
+
+Energy quantities are **joules per data bit**: the radio's transmit cost
+per bit at the power-controlled radius, and the constant per-bit reception
+cost.  Scaling by the data-packet size multiplies every metric by the same
+constant and never changes an argmin, so per-bit units are used throughout.
+
+The metric-specific node costs are:
+
+=========  =================================================================
+SS-SPST    hop count (``C_v`` is the path length; tree cost = sum of depths)
+SS-SPST-T  sum over tree links of per-link transmit energy  (eq. 1)
+SS-SPST-F  ``E_tx(r_v) + n_v * E_rx`` with ``r_v`` = distance to the
+           costliest tree child, ``n_v`` = number of tree children (eq. 2)
+SS-SPST-E  ``E_tx(r_v) + n'_v * E_rx + D_v`` with ``r_v`` over *flagged*
+           children only and the discard energy ``D_v = (N_v(r_v) - n'_v) *
+           E_rx`` for the non-intended neighbors inside the transmission
+           range (eq. 3-4).  Algebraically ``C_v = E_tx(r_v) + N_v(r_v) *
+           E_rx``: the transmitter's energy plus reception energy of
+           *everyone* who hears it, intended or not.
+=========  =================================================================
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.core.state import NodeState
+from repro.core.views import NodeView
+from repro.energy.radio import RadioModel
+from repro.graph.topology import Topology
+from repro.graph.tree import TreeAssignment
+from repro.util.ids import NodeId
+
+
+class CostMetric(abc.ABC):
+    """Common interface for tree-cost metrics."""
+
+    #: short name used in configs, reports and protocol variants
+    name: str = "?"
+    #: True when a node's *path* cost depends on its own child set (only
+    #: SS-SPST-E: member flags propagate up the chain), in which case the
+    #: update rule must re-price candidate paths without the joining node
+    #: (see :meth:`repro.core.views.NodeView.path_cost_excluding`).
+    path_couples_to_children: bool = False
+    #: extra beacon bytes this metric requires beyond the base beacon
+    #: (SS-SPST-E "sends additional information in its beacon packet")
+    beacon_extra_bytes_per_neighbor: int = 0
+    beacon_extra_bytes_fixed: int = 0
+
+    def __init__(self, radio: RadioModel) -> None:
+        self.radio = radio
+        self.e_rx = radio.rx_energy(1.0)  # J per bit received
+
+    # ------------------------------------------------------------------
+    def etx(self, distance: float) -> float:
+        """Per-bit transmit energy at the given power-controlled radius."""
+        return self.radio.tx_cost_per_bit(distance)
+
+    def etx0(self, radius: float) -> float:
+        """Like :meth:`etx` but a silent node (radius 0) costs nothing."""
+        return 0.0 if radius <= 0.0 else self.etx(radius)
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def join_cost(self, view: NodeView, v: NodeId, u: NodeId) -> float:
+        """``oc(v, u)``: cost of ``v`` adopting ``u`` as parent."""
+
+    @abc.abstractmethod
+    def tree_cost(self, topo: Topology, tree: TreeAssignment) -> float:
+        """Static total cost of a settled tree."""
+
+    def infinity(self, topo: Topology) -> float:
+        """``OC_max`` for disconnected nodes (exceeds any tree cost)."""
+        finite = topo.dist[np.isfinite(topo.dist)]
+        d_max = float(finite.max()) if finite.size else 1.0
+        per_node = self.etx(d_max) + topo.n * self.e_rx
+        return (topo.n + 1) * per_node + 1.0
+
+
+class HopMetric(CostMetric):
+    """SS-SPST: plain hop count (the baseline the paper improves on)."""
+
+    name = "hop"
+
+    def join_cost(self, view: NodeView, v: NodeId, u: NodeId) -> float:
+        return view.state_of(u).cost + 1.0
+
+    def tree_cost(self, topo: Topology, tree: TreeAssignment) -> float:
+        connected = tree.connected_nodes()
+        return float(sum(tree.depth(v) for v in connected))
+
+    def infinity(self, topo: Topology) -> float:
+        # Exceeds any path cost (<= n) and any total tree cost (<= n^2/2).
+        return float(topo.n * topo.n + 1)
+
+
+class TxEnergyMetric(CostMetric):
+    """SS-SPST-T: link-based transmission energy (eq. 1).
+
+    Ignores the wireless multicast advantage: every link is priced as if it
+    required its own transmission.
+    """
+
+    name = "tx"
+
+    def join_cost(self, view: NodeView, v: NodeId, u: NodeId) -> float:
+        return view.state_of(u).cost + self.etx(view.dist(v, u))
+
+    def tree_cost(self, topo: Topology, tree: TreeAssignment) -> float:
+        return float(
+            sum(self.etx(float(topo.dist[p, v])) for p, v in tree.edges())
+        )
+
+
+class FarthestChildMetric(CostMetric):
+    """SS-SPST-F: node cost from the costliest (farthest) tree child (eq. 2).
+
+    One transmission reaching the farthest child covers all children
+    (wireless multicast advantage); each child additionally pays reception.
+    """
+
+    name = "farthest"
+    beacon_extra_bytes_fixed = 6  # radius, second radius, costliest child id
+
+    flagged_only = False
+
+    def _delta(self, view: NodeView, v: NodeId, u: NodeId) -> float:
+        """Marginal cost for ``u`` of having ``v`` as a child."""
+        d = view.dist(v, u)
+        r_without = view.radius_without(u, v, flagged_only=self.flagged_only)
+        r_with = max(r_without, d)
+        return (self.etx0(r_with) - self.etx0(r_without)) + self.e_rx
+
+    def join_cost(self, view: NodeView, v: NodeId, u: NodeId) -> float:
+        return view.state_of(u).cost + self._delta(view, v, u)
+
+    def node_cost(self, topo: Topology, tree: TreeAssignment, u: NodeId) -> float:
+        children = tree.children()[u]
+        if not children:
+            return 0.0
+        radius = max(float(topo.dist[u, c]) for c in children)
+        return self.etx(radius) + len(children) * self.e_rx
+
+    def tree_cost(self, topo: Topology, tree: TreeAssignment) -> float:
+        return float(sum(self.node_cost(topo, tree, u) for u in range(topo.n)))
+
+
+class EnergyAwareMetric(FarthestChildMetric):
+    """SS-SPST-E: the paper's contribution (eq. 3-4).
+
+    Extends the F metric in two ways:
+
+    * only *flagged* children (member in subtree) are data receivers, so a
+      node whose children are all pruned transmits nothing;
+    * the discard energy of every non-intended neighbor inside the
+      transmission radius is charged to the transmitting node, steering the
+      tree away from dense non-member neighborhoods (Figure 5).
+    """
+
+    name = "energy"
+    # E beacons additionally carry the sender's neighbor-distance list so
+    # joiners can evaluate the discard term; distances are quantized to one
+    # byte each (range/255 buckets) — full floats would make the beacon
+    # energy swamp the discard savings the metric buys.
+    beacon_extra_bytes_fixed = 8
+    beacon_extra_bytes_per_neighbor = 1
+
+    flagged_only = True
+    path_couples_to_children = True
+
+    def node_cost_at_radius(self, view: NodeView, u: NodeId, radius: float) -> float:
+        """``C_u`` at a hypothetical data radius: tx + everyone-in-range rx."""
+        if radius <= 0.0:
+            return 0.0
+        return self.etx(radius) + view.count_in_range(u, radius) * self.e_rx
+
+    #: weight of the shadow price charged to unflagged (pruned) joiners.
+    #: A pruned node imposes no *data* cost (the paper's semantics, and the
+    #: default).  Setting a small positive value charges free-riders a
+    #: fraction of the true marginal, which shortens the long pruned chains
+    #: they otherwise form — measured across seeds this does not improve
+    #: delivery, so it stays off; the knob exists for the ablation bench.
+    UNFLAGGED_SHADOW = 0.0
+
+    def _delta(self, view: NodeView, v: NodeId, u: NodeId) -> float:
+        r_without = view.radius_without(u, v, flagged_only=True)
+        d = view.dist(v, u)
+        r_with = max(r_without, d)
+        marginal = self.node_cost_at_radius(view, u, r_with) - self.node_cost_at_radius(
+            view, u, r_without
+        )
+        if not view.flag_excluding(v, v):
+            # An unflagged child imposes no data-forwarding obligation; it
+            # either already overhears (within r) or simply isn't covered.
+            return self.UNFLAGGED_SHADOW * marginal
+        return marginal
+
+    def join_cost(self, view: NodeView, v: NodeId, u: NodeId) -> float:
+        # Price u's path in the v-detached world, with v's flag attached
+        # (lighting up a pruned branch charges the whole chain), then add
+        # u's own marginal cost for covering v.  See NodeView.path_price.
+        v_flag = view.flag_excluding(v, v)
+        return view.path_price(u, v, v_flag, self) + self._delta(view, v, u)
+
+    def node_cost(self, topo: Topology, tree: TreeAssignment, u: NodeId) -> float:
+        radius = tree.data_tx_radius(u)
+        if radius <= 0.0:
+            return 0.0
+        heard = len(topo.neighbors_within(u, radius))
+        return self.etx(radius) + heard * self.e_rx
+
+    def discard_cost(self, topo: Topology, tree: TreeAssignment, u: NodeId) -> float:
+        """The ``D_u`` component alone (eq. 3), for reporting/ablations."""
+        radius = tree.data_tx_radius(u)
+        if radius <= 0.0:
+            return 0.0
+        heard = len(topo.neighbors_within(u, radius))
+        intended = len(tree.flagged_children().get(u, []))
+        return max(heard - intended, 0) * self.e_rx
+
+    def tree_discard_cost(self, topo: Topology, tree: TreeAssignment) -> float:
+        """Total discard energy of the (pruned) tree per data bit."""
+        return float(sum(self.discard_cost(topo, tree, u) for u in range(topo.n)))
+
+
+#: canonical metric order used across experiments and reports
+METRIC_NAMES = ("hop", "tx", "farthest", "energy")
+
+_REGISTRY: Dict[str, Type[CostMetric]] = {
+    "hop": HopMetric,
+    "tx": TxEnergyMetric,
+    "farthest": FarthestChildMetric,
+    "energy": EnergyAwareMetric,
+}
+
+#: mapping from metric name to the protocol label used in the paper
+PROTOCOL_LABELS = {
+    "hop": "SS-SPST",
+    "tx": "SS-SPST-T",
+    "farthest": "SS-SPST-F",
+    "energy": "SS-SPST-E",
+}
+
+
+def metric_by_name(name: str, radio: RadioModel) -> CostMetric:
+    """Instantiate a metric by its short name ('hop', 'tx', 'farthest', 'energy')."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    return cls(radio)

@@ -1,0 +1,200 @@
+"""Round executors for the self-stabilizing algorithm.
+
+The paper measures stabilization in *rounds*: "the time period in which
+each node in the system receives at least one beacon message from each of
+its neighbors and performs computation based on its received information"
+(section 2).  Two classic daemons are provided:
+
+* :class:`SyncExecutor` — all nodes update simultaneously from the
+  previous round's states (the synchronous daemon; what the paper's
+  round-count examples describe);
+* :class:`CentralDaemonExecutor` — nodes update one at a time in id order
+  within a round, each seeing the freshest states (the central daemon under
+  which Dijkstra-style proofs are usually stated; also closest to the DES
+  protocol, where jittered beacons serialize updates).
+
+Both track the per-round total cost (the Lyapunov quantity of Lemma 1) and
+stop at a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.metrics import CostMetric
+from repro.core.rules import COST_TOL, H_MAX, compute_update
+from repro.core.state import NodeState, StateVector
+from repro.core.views import GlobalView
+from repro.graph.topology import Topology
+from repro.graph.tree import TreeAssignment
+
+
+def fresh_states(topo: Topology, metric: CostMetric) -> StateVector:
+    """Canonical start: root correct, everyone else disconnected.
+
+    "Each node in the network, when it is not connected to the tree has an
+    energy cost OC_max" (section 5).
+    """
+    inf = metric.infinity(topo)
+    h_max = H_MAX(topo)
+    return [
+        NodeState(parent=None, cost=0.0, hop=0)
+        if v == topo.source
+        else NodeState(parent=None, cost=inf, hop=h_max)
+        for v in range(topo.n)
+    ]
+
+
+def arbitrary_states(
+    topo: Topology,
+    metric: CostMetric,
+    rng: np.random.Generator,
+) -> StateVector:
+    """A random (possibly wildly illegitimate) initial state.
+
+    Parent pointers may form cycles, point anywhere in the neighborhood or
+    be absent; costs and hops are random garbage within representable
+    bounds.  Self-stabilization must recover from *any* such state
+    (Lemma 1), which the property tests exercise.
+    """
+    inf = metric.infinity(topo)
+    h_max = H_MAX(topo)
+    states: StateVector = []
+    for v in range(topo.n):
+        nbrs = topo.neighbors(v)
+        if nbrs and rng.random() < 0.8:
+            parent = int(rng.choice(nbrs))
+        else:
+            parent = None
+        cost = float(rng.uniform(0.0, inf))
+        hop = int(rng.integers(0, h_max + 1))
+        states.append(NodeState(parent=parent, cost=cost, hop=hop))
+    return states
+
+
+@dataclass
+class StabilizationResult:
+    """Outcome of running an executor to fixpoint."""
+
+    states: StateVector
+    rounds: int
+    converged: bool
+    cost_history: List[float] = field(default_factory=list)
+    moves: int = 0  # total individual state changes applied
+
+    def tree(self, topo: Topology) -> TreeAssignment:
+        """Extract the parent assignment as a validated tree."""
+        return TreeAssignment(topo, [s.parent for s in self.states])
+
+
+def total_cost(states: Sequence[NodeState], cap: float) -> float:
+    """Sum of per-node costs, capped (the Lemma-1 Lyapunov quantity)."""
+    return float(sum(min(s.cost, cap) for s in states))
+
+
+class _ExecutorBase:
+    def __init__(self, topo: Topology, metric: CostMetric) -> None:
+        self.topo = topo
+        self.metric = metric
+
+    def run(
+        self,
+        states: StateVector,
+        max_rounds: Optional[int] = None,
+    ) -> StabilizationResult:
+        """Run rounds until a fixpoint (or ``max_rounds``).
+
+        ``rounds`` in the result counts rounds in which at least one node
+        changed state — the paper's "takes k rounds to stabilize".
+        """
+        if max_rounds is None:
+            max_rounds = 4 * self.topo.n + 16
+        cap = self.metric.infinity(self.topo)
+        states = list(states)
+        history = [total_cost(states, cap)]
+        moves = 0
+        rounds = 0
+        for _ in range(max_rounds):
+            states, changed, n_moves = self._round(states)
+            history.append(total_cost(states, cap))
+            if not changed:
+                return StabilizationResult(
+                    states=states,
+                    rounds=rounds,
+                    converged=True,
+                    cost_history=history,
+                    moves=moves,
+                )
+            rounds += 1
+            moves += n_moves
+        return StabilizationResult(
+            states=states,
+            rounds=rounds,
+            converged=False,
+            cost_history=history,
+            moves=moves,
+        )
+
+    def _round(self, states: StateVector):
+        raise NotImplementedError
+
+
+class SyncExecutor(_ExecutorBase):
+    """All nodes move simultaneously from the previous round's snapshot."""
+
+    def _round(self, states: StateVector):
+        view = GlobalView(self.topo, states)
+        new_states: StateVector = []
+        moves = 0
+        for v in range(self.topo.n):
+            ns = compute_update(self.topo, self.metric, view, v)
+            if not ns.approx_equals(states[v], tol=COST_TOL):
+                moves += 1
+            new_states.append(ns)
+        return new_states, moves > 0, moves
+
+
+class CentralDaemonExecutor(_ExecutorBase):
+    """Nodes move one at a time (id order), seeing the freshest states."""
+
+    def _round(self, states: StateVector):
+        states = list(states)
+        moves = 0
+        for v in range(self.topo.n):
+            view = GlobalView(self.topo, states)
+            ns = compute_update(self.topo, self.metric, view, v)
+            if not ns.approx_equals(states[v], tol=COST_TOL):
+                states[v] = ns
+                moves += 1
+        return states, moves > 0, moves
+
+
+class RandomizedDaemonExecutor(_ExecutorBase):
+    """Central daemon with a fresh random node order every round.
+
+    Strictly-improving local moves under the F/E metrics are not an exact
+    potential game (a move changes *other* nodes' marginal costs), so a
+    fixed activation order can enter a limit cycle in rare adversarial
+    states.  Randomizing the order — which is what jittered beacon timing
+    does in the real protocol — escapes such cycles almost surely; this is
+    the executor the property-based convergence tests use for SS-SPST-E.
+    """
+
+    def __init__(self, topo: Topology, metric: CostMetric, rng: np.random.Generator) -> None:
+        super().__init__(topo, metric)
+        self.rng = rng
+
+    def _round(self, states: StateVector):
+        states = list(states)
+        moves = 0
+        for v in self.rng.permutation(self.topo.n):
+            v = int(v)
+            view = GlobalView(self.topo, states)
+            ns = compute_update(self.topo, self.metric, view, v)
+            if not ns.approx_equals(states[v], tol=COST_TOL):
+                states[v] = ns
+                moves += 1
+        return states, moves > 0, moves

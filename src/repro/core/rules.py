@@ -1,0 +1,122 @@
+"""The guarded self-stabilizing update rule (paper section 5).
+
+For a non-root node ``v`` the rule reads the neighbor states through a
+:class:`~repro.core.views.NodeView` and computes:
+
+* ``N1(v)`` — neighbors whose hop count is below ``H_max = |V|`` (nodes
+  trapped in a loop count themselves up to ``H_max`` and drop out of every
+  ``N1`` set, which is how count-to-infinity is broken — Lemma 3);
+* ``N2(v)`` — the members of ``N1(v)`` minimizing ``oc(v, u)``;
+* the new state: parent = the chosen element of ``N2(v)`` (ties prefer the
+  incumbent parent, then the lower advertised hop, then the smaller id),
+  cost = ``oc(v, parent)``, hop = parent's hop + 1.
+
+If ``N1(v)`` is empty the node declares itself disconnected:
+``(None, OC_max, H_max)``.  The root's state is the constant
+``(None, 0, 0)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.metrics import CostMetric
+from repro.core.state import NodeState
+from repro.core.views import NodeView
+from repro.graph.topology import Topology
+from repro.util.ids import NodeId
+
+#: relative tolerance for cost comparisons (hysteresis against fp churn)
+COST_TOL = 1e-9
+
+
+def H_MAX(topo: Topology) -> int:
+    """Maximum admissible hop count: the node count ``|V|``."""
+    return topo.n
+
+
+def compute_update(
+    topo: Topology,
+    metric: CostMetric,
+    view: NodeView,
+    v: NodeId,
+) -> NodeState:
+    """Return the state the rule assigns to ``v`` given the current view."""
+    return compute_update_local(
+        metric,
+        view,
+        v,
+        is_root=(v == topo.source),
+        h_max=H_MAX(topo),
+        oc_max=metric.infinity(topo),
+    )
+
+
+def compute_update_local(
+    metric: CostMetric,
+    view: NodeView,
+    v: NodeId,
+    is_root: bool,
+    h_max: int,
+    oc_max: float,
+    hysteresis: float = 0.0,
+) -> NodeState:
+    """Topology-free form of the rule, used directly by the DES protocol
+    (a real node knows only ``|V|`` and ``OC_max`` as scenario constants,
+    plus whatever its beacons delivered into the view).
+
+    ``hysteresis`` is route-flap damping for the noisy distributed setting:
+    an alternative parent must beat the incumbent's cost by this relative
+    margin to win.  The round model always uses 0 (pure rule); the DES
+    agents use a small margin because beacon-carried state is up to one
+    interval stale and node drift constantly perturbs marginal costs.
+    """
+    if is_root:
+        return NodeState(parent=None, cost=0.0, hop=0)
+
+    current_parent = view.state_of(v).parent
+
+    best: Optional[Tuple] = None
+    for u in view.neighbors_of(v):
+        su = view.state_of(u)
+        if su.hop >= h_max:  # not usefully connected (N1 exclusion)
+            continue
+        oc = metric.join_cost(view, v, u)
+        effective = oc if u == current_parent else oc * (1.0 + hysteresis)
+        key = (effective, 0 if u == current_parent else 1, su.hop, view.dist(v, u), u)
+        if best is None or _better(key, best[0]):
+            best = (key, oc, su.hop, u)
+
+    if best is None:
+        return NodeState(parent=None, cost=oc_max, hop=h_max)
+
+    _, oc, hop_u, u = best
+    return NodeState(parent=u, cost=oc, hop=hop_u + 1)
+
+
+def _better(a: Tuple, b: Tuple) -> bool:
+    """Lexicographic comparison with tolerant cost equality.
+
+    Costs within ``COST_TOL`` (relative) are treated as equal so the
+    incumbent-parent / lower-hop / smaller-id tie-breaks take over; this is
+    the hysteresis that keeps equal-cost parents from flapping.
+    """
+    ca, cb = a[0], b[0]
+    scale = max(1.0, abs(ca), abs(cb))
+    if ca < cb - COST_TOL * scale:
+        return True
+    if ca > cb + COST_TOL * scale:
+        return False
+    return a[1:] < b[1:]
+
+
+def guard_violated(
+    topo: Topology,
+    metric: CostMetric,
+    view: NodeView,
+    v: NodeId,
+) -> bool:
+    """Whether ``v``'s current state differs from what the rule computes."""
+    return not view.state_of(v).approx_equals(
+        compute_update(topo, metric, view, v), tol=COST_TOL
+    )

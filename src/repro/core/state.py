@@ -1,0 +1,74 @@
+"""Per-node protocol state and derived structures.
+
+Each node maintains (paper section 5):
+
+* ``parent`` — current parent pointer (``None`` = disconnected or root),
+* ``cost``  — the overhead energy cost ``oc_v`` estimated at the node,
+* ``hop``   — hop count to the root (bounded by ``|V|`` for loop control).
+
+A :class:`StateVector` is simply a list of states indexed by node id; the
+helpers derive the children map (a node's children are the nodes whose
+parent pointer names it) and the bottom-up member *flags* used for pruning
+and by the SS-SPST-E metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.topology import Topology
+from repro.util.ids import NodeId
+
+
+@dataclass(frozen=True)
+class NodeState:
+    """One node's protocol variables."""
+
+    parent: Optional[NodeId]
+    cost: float
+    hop: int
+
+    def approx_equals(self, other: "NodeState", tol: float = 1e-9) -> bool:
+        """Equality with a floating-point tolerance on the cost."""
+        return (
+            self.parent == other.parent
+            and self.hop == other.hop
+            and abs(self.cost - other.cost) <= tol * max(1.0, abs(other.cost))
+        )
+
+
+StateVector = List[NodeState]
+
+
+def derive_children(states: Sequence[NodeState]) -> Dict[NodeId, List[NodeId]]:
+    """children[u] = sorted nodes whose parent pointer is u."""
+    children: Dict[NodeId, List[NodeId]] = {v: [] for v in range(len(states))}
+    for v, st in enumerate(states):
+        if st.parent is not None:
+            children[st.parent].append(v)
+    for lst in children.values():
+        lst.sort()
+    return children
+
+
+def derive_flags(topo: Topology, states: Sequence[NodeState]) -> List[bool]:
+    """Bottom-up member flags, robust to illegitimate (cyclic) states.
+
+    ``flag[v]`` is True iff ``v`` is a member or (transitively) some node
+    pointing down to ``v`` is flagged.  Computed as a bounded fixpoint so it
+    terminates even when parent pointers form cycles (possible in arbitrary
+    initial states).
+    """
+    n = len(states)
+    flag = [v in topo.members for v in range(n)]
+    children = derive_children(states)
+    for _ in range(n):
+        changed = False
+        for u in range(n):
+            if not flag[u] and any(flag[c] for c in children[u]):
+                flag[u] = True
+                changed = True
+        if not changed:
+            break
+    return flag

@@ -1,0 +1,205 @@
+"""Information views the update rule reads.
+
+The self-stabilizing rule at node ``v`` only needs *local* information about
+each neighbor ``u``:
+
+* ``u``'s advertised state (cost, hop),
+* the distance ``d(v, u)``,
+* ``u``'s current data-transmission radius — and what that radius would be
+  *without v as a child* (so a node can evaluate "stay with my parent"
+  against alternatives fairly),
+* how many of ``u``'s neighbors sit within a given radius (the
+  discard-energy term of SS-SPST-E).
+
+:class:`GlobalView` provides these from a :class:`~repro.graph.topology.Topology`
+plus a :class:`~repro.core.state.StateVector` (the round model, where a
+"round" delivers every neighbor's beacon).  The DES protocol builds the
+same view from received beacon payloads (:mod:`repro.protocols.ss_spst`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.state import NodeState, derive_children, derive_flags
+from repro.graph.topology import Topology
+from repro.util.ids import NodeId
+
+
+class NodeView(abc.ABC):
+    """What node ``v`` can see when evaluating neighbor ``u``."""
+
+    @abc.abstractmethod
+    def neighbors_of(self, v: NodeId) -> List[NodeId]:
+        """Candidate parents: v's current neighbors."""
+
+    @abc.abstractmethod
+    def state_of(self, u: NodeId) -> NodeState:
+        """u's advertised (parent, cost, hop)."""
+
+    @abc.abstractmethod
+    def dist(self, v: NodeId, u: NodeId) -> float:
+        """Distance between v and u."""
+
+    @abc.abstractmethod
+    def flag_of(self, u: NodeId) -> bool:
+        """Whether u currently has a member in its (claimed) subtree."""
+
+    @abc.abstractmethod
+    def radius_without(self, u: NodeId, v: NodeId, flagged_only: bool) -> float:
+        """u's child radius if v were not its child (0.0 = u silent).
+
+        ``flagged_only`` selects the SS-SPST-E notion (only children with a
+        member downstream count as data receivers) versus SS-SPST-F (every
+        tree child counts).
+        """
+
+    @abc.abstractmethod
+    def count_in_range(self, u: NodeId, radius: float) -> int:
+        """Number of u's graph neighbors within ``radius`` of u."""
+
+    @abc.abstractmethod
+    def member(self, u: NodeId) -> bool:
+        """Whether u is a multicast group member."""
+
+    @abc.abstractmethod
+    def flag_excluding(self, u: NodeId, v: NodeId) -> bool:
+        """u's member flag in the world where ``v`` is detached from its
+        current parent (v's subtree no longer contributes flags)."""
+
+    @abc.abstractmethod
+    def path_price(self, u: NodeId, v: NodeId, v_flag: bool, metric) -> float:
+        """Price of candidate parent ``u``'s path, seen by joiner ``v``.
+
+        Evaluated in the world where ``v`` is detached from its current
+        parent, and where ``u`` additionally carries ``v_flag`` (the member
+        flag ``v`` would contribute by attaching).  Pricing candidates this
+        way is symmetric between the incumbent parent and alternatives:
+
+        * the incumbent's path is no longer "pre-paid" by v's current
+          attachment (which would make every alternative look cheaper and
+          cause parent flip-flopping), and
+        * an alternative whose branch is currently pruned is charged the
+          full cost of lighting that branch up to the root (the ancestors
+          must start forwarding data for v), which a simple advertised-cost
+          read would miss.
+
+        For metrics whose path cost does not couple to the child set (hop,
+        T, F) this is just ``state_of(u).cost``.
+        """
+
+
+class GlobalView(NodeView):
+    """Round-model view: global topology + a state vector snapshot."""
+
+    def __init__(self, topo: Topology, states: Sequence[NodeState]) -> None:
+        self.topo = topo
+        self.states = list(states)
+        self._children = derive_children(self.states)
+        self._flags = derive_flags(topo, self.states)
+        self._flags_excl: Dict[NodeId, List[bool]] = {}
+
+    # ------------------------------------------------------------------
+    def neighbors_of(self, v: NodeId) -> List[NodeId]:
+        return self.topo.neighbors(v)
+
+    def state_of(self, u: NodeId) -> NodeState:
+        return self.states[u]
+
+    def dist(self, v: NodeId, u: NodeId) -> float:
+        return float(self.topo.dist[v, u])
+
+    def flag_of(self, u: NodeId) -> bool:
+        return self._flags[u]
+
+    def children_of(self, u: NodeId) -> List[NodeId]:
+        return self._children[u]
+
+    def radius_without(self, u: NodeId, v: NodeId, flagged_only: bool) -> float:
+        # In flagged-only (SS-SPST-E) evaluations the world is "v detached",
+        # so sibling flags that depended on v's subtree are recomputed.
+        flags = self.flags_excluding(v) if flagged_only else self._flags
+        return self._radius_excluding(u, (v,), flags, flagged_only)
+
+    def count_in_range(self, u: NodeId, radius: float) -> int:
+        if radius <= 0.0:
+            return 0
+        return len(self.topo.neighbors_within(u, radius))
+
+    def member(self, u: NodeId) -> bool:
+        return u in self.topo.members
+
+    def flags_excluding(self, v: NodeId) -> List[bool]:
+        """Member flags with ``v`` detached from its current parent (cached)."""
+        cached = self._flags_excl.get(v)
+        if cached is not None:
+            return cached
+        if self.states[v].parent is None:
+            flags = self._flags
+        else:
+            detached = list(self.states)
+            detached[v] = NodeState(parent=None, cost=detached[v].cost, hop=detached[v].hop)
+            flags = derive_flags(self.topo, detached)
+        self._flags_excl[v] = flags
+        return flags
+
+    def flag_excluding(self, u: NodeId, v: NodeId) -> bool:
+        return bool(self.flags_excluding(v)[u])
+
+    def _radius_excluding(
+        self, u: NodeId, exclude, flags: Sequence[bool], flagged_only: bool
+    ) -> float:
+        radius = 0.0
+        for c in self._children[u]:
+            if c in exclude:
+                continue
+            if flagged_only and not flags[c]:
+                continue
+            d = float(self.topo.dist[u, c])
+            if d > radius:
+                radius = d
+        return radius
+
+    def path_price(self, u: NodeId, v: NodeId, v_flag: bool, metric) -> float:
+        """Exact chain walk in the v-detached world (see the ABC docstring).
+
+        Guards against parent cycles (possible in arbitrary illegitimate
+        states) by falling back to the advertised cost when a node repeats.
+        """
+        if not getattr(metric, "path_couples_to_children", False):
+            return self.states[u].cost
+
+        flags = self.flags_excluding(v)
+        flag_u = self.member(u) or v_flag or any(
+            flags[c] for c in self._children[u] if c != v
+        )
+        return self._cost_up(u, flag_u, v, flags, metric, seen={u})
+
+    def _cost_up(self, w, flag_w, v, flags, metric, seen) -> float:
+        """Path cost of node ``w`` carrying (possibly modified) flag ``flag_w``."""
+        if w == self.topo.source:
+            return 0.0
+        p = self.states[w].parent
+        if p is None:
+            return self.states[w].cost  # disconnected: advertised OC_max
+        # Marginal cost p pays to cover w (w's attachment is being priced,
+        # so w itself is excluded from p's baseline radius).
+        if flag_w:
+            d = float(self.topo.dist[w, p]) if self.topo.has_edge(w, p) else 0.0
+            # v is detached everywhere in this world, so exclude it too.
+            r_wo = self._radius_excluding(p, (w, v), flags, flagged_only=True)
+            delta = metric.node_cost_at_radius(self, p, max(r_wo, d)) - (
+                metric.node_cost_at_radius(self, p, r_wo)
+            )
+        else:
+            delta = 0.0
+        if p in seen:  # cycle in an illegitimate state: stop re-pricing
+            return self.states[p].cost + delta
+        seen.add(p)
+        flag_p = (
+            self.member(p)
+            or flag_w
+            or any(flags[c] for c in self._children[p] if c not in (w, v))
+        )
+        return self._cost_up(p, flag_p, v, flags, metric, seen) + delta

@@ -1,0 +1,23 @@
+"""Radio energy model and per-node energy accounting.
+
+Section 3 of the paper assumes: power-controlled transmitters (energy to
+reach a neighbor depends on distance), constant reception energy, and a
+*discard* energy — the reception energy wasted by in-range nodes that are
+not intended receivers ("overhearing").  :class:`FirstOrderRadioModel`
+implements the standard first-order radio model that satisfies those
+assumptions; :class:`EnergyLedger` tracks per-node joules split by
+direction (tx / rx / discard) and traffic class (data / control), which is
+exactly the breakdown the evaluation metrics need.
+"""
+
+from repro.energy.radio import FirstOrderRadioModel, RadioModel
+from repro.energy.ledger import EnergyLedger, EnergyBreakdown
+from repro.energy.battery import Battery
+
+__all__ = [
+    "RadioModel",
+    "FirstOrderRadioModel",
+    "EnergyLedger",
+    "EnergyBreakdown",
+    "Battery",
+]

@@ -1,0 +1,67 @@
+"""Finite battery model (extension).
+
+The paper motivates self-stabilization partly by "depletion of battery
+power" as a topology-change source but simulates unlimited energy.  The
+:class:`Battery` extension lets scenarios deplete and kill nodes, injecting
+exactly that fault class; used by the failure-injection tests and the
+lifetime extension experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class Battery:
+    """A finite energy reserve with a death callback.
+
+    Parameters
+    ----------
+    capacity_j:
+        Initial charge in joules; ``float('inf')`` (default) disables
+        depletion, matching the paper's setup.
+    on_depleted:
+        Called exactly once when the charge reaches zero.
+    """
+
+    __slots__ = ("capacity_j", "remaining_j", "_on_depleted", "_dead")
+
+    def __init__(
+        self,
+        capacity_j: float = float("inf"),
+        on_depleted: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if capacity_j <= 0:
+            raise ValueError("battery capacity must be positive")
+        self.capacity_j = capacity_j
+        self.remaining_j = capacity_j
+        self._on_depleted = on_depleted
+        self._dead = False
+
+    @property
+    def depleted(self) -> bool:
+        """Whether the battery has run out."""
+        return self._dead
+
+    @property
+    def fraction_remaining(self) -> float:
+        """Remaining charge as a fraction of capacity (1.0 if infinite)."""
+        if self.capacity_j == float("inf"):
+            return 1.0
+        return max(self.remaining_j, 0.0) / self.capacity_j
+
+    def draw(self, joules: float) -> bool:
+        """Consume ``joules``; returns False (and fires the callback once)
+        if the battery is — or just became — depleted."""
+        if joules < 0:
+            raise ValueError("cannot draw negative energy")
+        if self._dead:
+            return False
+        self.remaining_j -= joules
+        if self.remaining_j <= 0.0:
+            self.remaining_j = 0.0
+            self._dead = True
+            if self._on_depleted is not None:
+                self._on_depleted()
+            return False
+        return True

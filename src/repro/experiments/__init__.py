@@ -1,0 +1,35 @@
+"""Experiment harness: scenario configs, the runner, and one definition
+per figure of the paper's evaluation (Figures 7-16).
+
+Typical use::
+
+    from repro.experiments import ScenarioConfig, run_scenario
+
+    cfg = ScenarioConfig(protocol="ss-spst-e", v_max=5.0, seed=1)
+    summary = run_scenario(cfg)
+    print(summary.pdr, summary.energy_per_packet_mj)
+
+or reproduce a whole figure::
+
+    from repro.experiments.figures import FIGURES
+
+    result = FIGURES["fig09"].run(quick=True)
+    print(result.format_table())
+"""
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario, RunResult
+from repro.experiments.sweeps import Sweep, SweepResult, run_sweep
+from repro.experiments.lifetime import LifetimeResult, compare_lifetimes, run_lifetime
+
+__all__ = [
+    "ScenarioConfig",
+    "run_scenario",
+    "RunResult",
+    "Sweep",
+    "SweepResult",
+    "run_sweep",
+    "LifetimeResult",
+    "compare_lifetimes",
+    "run_lifetime",
+]

@@ -1,0 +1,102 @@
+"""Parameter sweeps: the building block of every figure.
+
+A :class:`Sweep` varies one scenario parameter over a list of values for a
+set of protocols, averaging each cell over seeds — exactly how the paper
+produced its graphs ("We used various scenario files ... and took an
+average value to plot the graphs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import RunResult, run_scenario
+
+#: extractor: RunResult -> float (the figure's Y value)
+Extractor = Callable[[RunResult], float]
+
+
+@dataclass
+class SweepResult:
+    """A grid of averaged Y values: series per protocol over the X axis."""
+
+    x_name: str
+    x_values: List[float]
+    y_name: str
+    series: Dict[str, List[float]]  # protocol -> y per x
+    raw: Dict[Tuple[str, float], List[RunResult]] = field(default_factory=dict)
+
+    def format_table(self, title: str = "") -> str:
+        """Gnuplot-style rows like the paper's figures."""
+        lines = []
+        if title:
+            lines.append(f"# {title}")
+        protos = list(self.series)
+        header = f"{self.x_name:>12s} " + " ".join(f"{p:>12s}" for p in protos)
+        lines.append(header)
+        for i, x in enumerate(self.x_values):
+            row = f"{x:12.3f} " + " ".join(
+                f"{self.series[p][i]:12.4f}" for p in protos
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+@dataclass
+class Sweep:
+    """Definition of one sweep."""
+
+    x_name: str  # ScenarioConfig field to vary
+    x_values: Sequence[float]
+    protocols: Sequence[str]
+    y_name: str
+    extract: Extractor
+    base: ScenarioConfig
+    seeds: Sequence[int] = (1, 2, 3)
+
+    def run(
+        self,
+        progress: Optional[Callable[[str], None]] = None,
+        cache: Optional[Dict] = None,
+    ) -> SweepResult:
+        """Run the grid.  ``cache`` maps ScenarioConfig -> RunResult and is
+        shared across sweeps: figures that differ only in the metric they
+        extract (e.g. Figures 7/8/9) reuse the same simulations."""
+        series: Dict[str, List[float]] = {p: [] for p in self.protocols}
+        raw: Dict[Tuple[str, float], List[RunResult]] = {}
+        for x in self.x_values:
+            for proto in self.protocols:
+                results = []
+                for seed in self.seeds:
+                    cfg = self.base.replace(
+                        **{self.x_name: x, "protocol": proto, "seed": seed}
+                    )
+                    if cache is not None and cfg in cache:
+                        results.append(cache[cfg])
+                    else:
+                        result = run_scenario(cfg)
+                        if cache is not None:
+                            cache[cfg] = result
+                        results.append(result)
+                    if progress:
+                        progress(f"{proto} {self.x_name}={x} seed={seed}")
+                raw[(proto, float(x))] = results
+                ys = [self.extract(r) for r in results]
+                finite = [y for y in ys if y == y and y != float("inf")]
+                series[proto].append(
+                    sum(finite) / len(finite) if finite else float("nan")
+                )
+        return SweepResult(
+            x_name=self.x_name,
+            x_values=[float(x) for x in self.x_values],
+            y_name=self.y_name,
+            series=series,
+            raw=raw,
+        )
+
+
+def run_sweep(sweep: Sweep, **kwargs) -> SweepResult:
+    """Convenience wrapper."""
+    return sweep.run(**kwargs)

@@ -1,0 +1,30 @@
+"""Static graph layer: topologies, trees, reference constructions.
+
+The self-stabilizing algorithms of :mod:`repro.core` run against an
+abstract :class:`Topology` (nodes, weighted adjacency, multicast group),
+which can come from geometric positions or from an explicit edge list (the
+paper's worked example gives distances, not coordinates).
+
+Also here: the static multicast-tree machinery used for validation —
+tree representation/pruning (:mod:`repro.graph.tree`), classic reference
+constructions (BIP/MIP, :mod:`repro.graph.bip`), and brute-force /
+heuristic minimum-energy trees (:mod:`repro.graph.emin`) used to measure
+how close SS-SPST-E gets to the optimum.
+"""
+
+from repro.graph.topology import Topology
+from repro.graph.tree import TreeAssignment
+from repro.graph.bip import bip_tree, mip_tree
+from repro.graph.emin import (
+    exhaustive_min_energy_tree,
+    local_search_min_energy_tree,
+)
+
+__all__ = [
+    "Topology",
+    "TreeAssignment",
+    "bip_tree",
+    "mip_tree",
+    "exhaustive_min_energy_tree",
+    "local_search_min_energy_tree",
+]

@@ -1,0 +1,124 @@
+"""Minimum-energy multicast tree search.
+
+The paper's ``E_min`` constant — "the minimum possible value for the total
+energy cost of the tree" — exists by definition but is NP-complete to
+compute in general (section 1 cites the NP-completeness results).  For
+validation we provide:
+
+* :func:`exhaustive_min_energy_tree` — exact optimum by enumerating rooted
+  spanning trees (feasible for ~10 nodes; used to check how tight the
+  Lemma-2 fixpoint is on the worked example);
+* :func:`local_search_min_energy_tree` — a REMiT-style parent-switching
+  local search usable at evaluation scale.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, TYPE_CHECKING, Tuple
+
+from repro.graph.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
+    from repro.core.metrics import CostMetric
+from repro.graph.tree import TreeAssignment
+from repro.util.ids import NodeId
+
+
+def _rooted_parents(topo: Topology, tree_edges) -> List[Optional[NodeId]]:
+    """Orient an undirected spanning tree away from the source."""
+    adj = {v: [] for v in range(topo.n)}
+    for u, v in tree_edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    parents: List[Optional[NodeId]] = [None] * topo.n
+    seen = {topo.source}
+    stack = [topo.source]
+    while stack:
+        u = stack.pop()
+        for w in adj[u]:
+            if w not in seen:
+                seen.add(w)
+                parents[w] = u
+                stack.append(w)
+    return parents
+
+
+def exhaustive_min_energy_tree(
+    topo: Topology,
+    metric: "CostMetric",
+    max_trees: int = 2_000_000,
+) -> Tuple[TreeAssignment, float]:
+    """Exact minimum-cost spanning tree under ``metric`` (small graphs only).
+
+    Enumerates spanning trees with :mod:`networkx`; raises if the graph has
+    more than ``max_trees`` spanning trees to enumerate.
+    """
+    import networkx as nx
+
+    g = topo.to_networkx()
+    if not topo.is_connected():
+        raise ValueError("exhaustive search requires a connected topology")
+    best: Optional[Tuple[float, TreeAssignment]] = None
+    count = 0
+    for st in nx.SpanningTreeIterator(g):
+        count += 1
+        if count > max_trees:
+            raise RuntimeError(f"more than {max_trees} spanning trees")
+        parents = _rooted_parents(topo, st.edges())
+        tree = TreeAssignment(topo, parents)
+        cost = metric.tree_cost(topo, tree)
+        if best is None or cost < best[0]:
+            best = (cost, tree)
+    assert best is not None
+    return best[1], best[0]
+
+
+def local_search_min_energy_tree(
+    topo: Topology,
+    metric: "CostMetric",
+    start: Optional[TreeAssignment] = None,
+    max_iters: int = 10_000,
+) -> Tuple[TreeAssignment, float]:
+    """Greedy parent-switching local search (S-REMiT style refinement).
+
+    From a starting tree (default: BFS/hop tree), repeatedly apply the
+    single parent switch that most reduces total cost, until no switch
+    improves.  Returns a local optimum.
+    """
+    if start is None:
+        hops = topo.bfs_hops()
+        parents: List[Optional[NodeId]] = [None] * topo.n
+        for v in range(topo.n):
+            if v == topo.source:
+                continue
+            candidates = [u for u in topo.neighbors(v) if hops[u] == hops[v] - 1]
+            if candidates:
+                parents[v] = min(candidates)
+        start = TreeAssignment(topo, parents)
+
+    current = start
+    cost = metric.tree_cost(topo, current)
+    for _ in range(max_iters):
+        best_move: Optional[Tuple[float, TreeAssignment]] = None
+        for v in range(topo.n):
+            if v == topo.source:
+                continue
+            for u in topo.neighbors(v):
+                if u == current.parents[v]:
+                    continue
+                trial_parents = list(current.parents)
+                trial_parents[v] = u
+                try:
+                    trial = TreeAssignment(topo, trial_parents)
+                except ValueError:  # would create a cycle
+                    continue
+                trial_cost = metric.tree_cost(topo, trial)
+                if trial_cost < cost - 1e-15 and (
+                    best_move is None or trial_cost < best_move[0]
+                ):
+                    best_move = (trial_cost, trial)
+        if best_move is None:
+            break
+        cost, current = best_move
+    return current, cost

@@ -1,0 +1,154 @@
+"""Rooted multicast tree representation with bottom-up pruning.
+
+A tree is a parent assignment over a topology.  Pruning (paper section 2)
+marks the nodes that have a group member in their subtree ("flag"); the
+pruned tree is the part that actually carries data: a node forwards only if
+it has at least one flagged child.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graph.topology import Topology
+from repro.util.ids import NodeId
+
+
+class TreeAssignment:
+    """Parent pointers over a :class:`Topology`, validated to be a tree.
+
+    ``parents[v]`` is ``None`` for the root and for disconnected nodes.
+    """
+
+    def __init__(self, topo: Topology, parents: Sequence[Optional[NodeId]]) -> None:
+        if len(parents) != topo.n:
+            raise ValueError("parents length mismatch")
+        if parents[topo.source] is not None:
+            raise ValueError("the source must have no parent")
+        for v, p in enumerate(parents):
+            if p is not None and not topo.has_edge(v, p):
+                raise ValueError(f"parent edge {v}->{p} not in the topology")
+        self.topo = topo
+        self.parents: List[Optional[NodeId]] = [
+            None if p is None else int(p) for p in parents
+        ]
+        self._children: Optional[Dict[NodeId, List[NodeId]]] = None
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        for v in range(self.topo.n):
+            seen = set()
+            cur: Optional[NodeId] = v
+            while cur is not None:
+                if cur in seen:
+                    raise ValueError(f"cycle through node {cur}")
+                seen.add(cur)
+                cur = self.parents[cur]
+
+    # ------------------------------------------------------------------
+    def children(self) -> Dict[NodeId, List[NodeId]]:
+        """Map node -> sorted list of children (cached)."""
+        if self._children is None:
+            ch: Dict[NodeId, List[NodeId]] = {v: [] for v in range(self.topo.n)}
+            for v, p in enumerate(self.parents):
+                if p is not None:
+                    ch[p].append(v)
+            for lst in ch.values():
+                lst.sort()
+            self._children = ch
+        return self._children
+
+    def edges(self) -> List[Tuple[NodeId, NodeId]]:
+        """Tree edges as ``(parent, child)`` pairs."""
+        return [(p, v) for v, p in enumerate(self.parents) if p is not None]
+
+    def connected_nodes(self) -> Set[NodeId]:
+        """Nodes with a parent chain reaching the source."""
+        ok: Set[NodeId] = {self.topo.source}
+        for v in range(self.topo.n):
+            chain = []
+            cur: Optional[NodeId] = v
+            while cur is not None and cur not in ok:
+                chain.append(cur)
+                cur = self.parents[cur]
+            if cur is not None:  # chain reached a node already known connected
+                ok.update(chain)
+        return ok
+
+    def spans_all(self) -> bool:
+        """True if every node is connected to the source."""
+        return len(self.connected_nodes()) == self.topo.n
+
+    def spans_members(self) -> bool:
+        """True if every group member is connected to the source."""
+        return self.topo.members <= self.connected_nodes()
+
+    # ------------------------------------------------------------------
+    def depth(self, v: NodeId) -> int:
+        """Hop distance from ``v`` up to the root (or its chain end)."""
+        d = 0
+        cur = self.parents[v]
+        while cur is not None:
+            d += 1
+            cur = self.parents[cur]
+        return d
+
+    def max_depth(self) -> int:
+        """Tree height in hops."""
+        return max(self.depth(v) for v in range(self.topo.n))
+
+    # ------------------------------------------------------------------
+    # Pruning
+    # ------------------------------------------------------------------
+    def flags(self) -> np.ndarray:
+        """Bottom-up member flags: flag[v] iff v's subtree holds a member.
+
+        This is the flag SS-SPST gathers "in a bottom-up manner from the
+        leaf node to the root node" (section 2).
+        """
+        members = self.topo.members
+        flag = np.zeros(self.topo.n, dtype=bool)
+        order = sorted(range(self.topo.n), key=self.depth, reverse=True)
+        ch = self.children()
+        for v in order:
+            flag[v] = (v in members) or any(flag[c] for c in ch[v])
+        return flag
+
+    def flagged_children(self) -> Dict[NodeId, List[NodeId]]:
+        """Children carrying a member in their subtree (data receivers)."""
+        flag = self.flags()
+        return {
+            v: [c for c in cs if flag[c]] for v, cs in self.children().items()
+        }
+
+    def forwarding_nodes(self) -> Set[NodeId]:
+        """Nodes that transmit data in the pruned tree."""
+        fc = self.flagged_children()
+        return {v for v, cs in fc.items() if cs}
+
+    def data_tx_radius(self, v: NodeId) -> float:
+        """Power-controlled data range for ``v``: farthest flagged child."""
+        fc = self.flagged_children().get(v, [])
+        if not fc:
+            return 0.0
+        return max(float(self.topo.dist[v, c]) for c in fc)
+
+    # ------------------------------------------------------------------
+    def path_to_root(self, v: NodeId) -> List[NodeId]:
+        """Node sequence from ``v`` to the root (inclusive)."""
+        path = [v]
+        cur = self.parents[v]
+        while cur is not None:
+            path.append(cur)
+            cur = self.parents[cur]
+        return path
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TreeAssignment):
+            return NotImplemented
+        return self.parents == other.parents and self.topo is other.topo
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TreeAssignment({self.parents})"

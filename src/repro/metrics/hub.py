@@ -1,0 +1,144 @@
+"""Central metrics collection for DES runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.net.packet import Packet, PacketKind
+from repro.util.ids import NodeId
+from repro.util.units import joules_to_mj
+
+
+@dataclass
+class RunSummary:
+    """Final quantities of one simulation run (paper's reporting units)."""
+
+    pdr: float
+    energy_per_packet_mj: float
+    avg_delay_ms: float
+    control_overhead: float  # control bytes tx / data bytes delivered
+    unavailability: float
+    data_originated: int
+    data_delivered: int
+    total_energy_j: float
+    control_bytes_tx: int
+    data_bytes_tx: int
+    duplicates_suppressed: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+
+class MetricsHub:
+    """Accumulates events during a run; computes a :class:`RunSummary`.
+
+    Wire-up: the experiment runner installs the hub on the network
+    (``network.hub``); the medium reports every frame put on the air, and
+    protocol agents report originations and deliveries.
+    """
+
+    def __init__(self, n_receivers: int, availability_window: float = 2.0) -> None:
+        if n_receivers < 0:
+            raise ValueError("n_receivers must be non-negative")
+        self.n_receivers = n_receivers
+        self.availability_window = availability_window
+        self.data_originated = 0
+        self.control_bytes_tx = 0
+        self.data_bytes_tx = 0
+        self.duplicates_suppressed = 0
+        self._deliveries: Dict[Tuple[NodeId, int, int], float] = {}
+        self._delays: list = []
+        self._last_delivery_at: Dict[NodeId, float] = {}
+        self._probes = 0
+        self._probe_misses = 0
+
+    # ------------------------------------------------------------------
+    # Event sinks
+    # ------------------------------------------------------------------
+    def on_frame_sent(self, packet: Packet) -> None:
+        """Called by the medium for every transmitted frame."""
+        if packet.kind is PacketKind.DATA:
+            self.data_bytes_tx += packet.size_bytes
+        else:
+            self.control_bytes_tx += packet.size_bytes
+
+    def on_data_originated(self, packet: Packet) -> None:
+        """Called by the source agent when a new data packet enters."""
+        self.data_originated += 1
+
+    def on_data_delivered(self, receiver: NodeId, packet: Packet, now: float) -> bool:
+        """Called by a member agent on accepting a data packet.
+
+        Returns True for a first delivery, False for a duplicate (which is
+        counted but not re-credited).
+        """
+        key = (receiver, packet.origin, packet.seq)
+        if key in self._deliveries:
+            self.duplicates_suppressed += 1
+            return False
+        self._deliveries[key] = now
+        self._delays.append(now - packet.created_at)
+        self._last_delivery_at[receiver] = now
+        return True
+
+    def probe_availability(self, receivers, now: float) -> None:
+        """Periodic service probe: a receiver is 'covered' if it saw a
+        delivery within the availability window."""
+        for r in receivers:
+            self._probes += 1
+            last = self._last_delivery_at.get(r)
+            if last is None or now - last > self.availability_window:
+                self._probe_misses += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def data_delivered(self) -> int:
+        return len(self._deliveries)
+
+    def summary(self, total_energy_j: float) -> RunSummary:
+        """Finalize, given the network-wide energy total."""
+        expected = self.data_originated * self.n_receivers
+        delivered = self.data_delivered
+        pdr = delivered / expected if expected else 0.0
+        epp = joules_to_mj(total_energy_j) / delivered if delivered else float("inf")
+        delay_ms = (sum(self._delays) / len(self._delays)) * 1e3 if self._delays else float("inf")
+        data_bytes_delivered = sum(1 for _ in self._deliveries)  # count only
+        # Control overhead normalizes by delivered data bytes; use the
+        # delivered count times the nominal packet size embedded in delays'
+        # companion structure is unavailable here, so track via tx sizes:
+        overhead = (
+            self.control_bytes_tx / self._delivered_bytes()
+            if self._delivered_bytes()
+            else float("inf")
+        )
+        unavailability = self._probe_misses / self._probes if self._probes else 0.0
+        return RunSummary(
+            pdr=pdr,
+            energy_per_packet_mj=epp,
+            avg_delay_ms=delay_ms,
+            control_overhead=overhead,
+            unavailability=unavailability,
+            data_originated=self.data_originated,
+            data_delivered=delivered,
+            total_energy_j=total_energy_j,
+            control_bytes_tx=self.control_bytes_tx,
+            data_bytes_tx=self.data_bytes_tx,
+            duplicates_suppressed=self.duplicates_suppressed,
+        )
+
+    def _delivered_bytes(self) -> float:
+        # Deliveries share the CBR packet size; recover it from origination
+        # accounting (bytes per data frame are uniform in our scenarios).
+        if not self._deliveries:
+            return 0.0
+        return float(len(self._deliveries)) * self._packet_size_hint
+
+    _packet_size_hint: int = 512
+
+    def set_packet_size_hint(self, size_bytes: int) -> None:
+        """Nominal data packet size used to convert delivered packets to
+        bytes for the control-overhead ratio (Figure 13)."""
+        if size_bytes <= 0:
+            raise ValueError("size must be positive")
+        self._packet_size_hint = size_bytes

@@ -1,0 +1,34 @@
+"""Node mobility models.
+
+The paper's evaluation (section 6) uses the random way-point model *with the
+Yoon–Liu–Noble fix*: node speeds are drawn from ``[v_min, v_max]`` with
+``v_min > 0`` so the average speed does not decay over time ("Random
+Waypoint Considered Harmful", INFOCOM'03).  :class:`RandomWaypoint`
+implements exactly that.  Additional models (random walk, Gauss–Markov,
+static placement, explicit traces) support the test-suite and extension
+experiments.
+
+All models share the :class:`MobilityModel` interface: ``positions(t)``
+returns the ``(n, 2)`` position array at simulation time ``t`` where ``t``
+must be non-decreasing across calls (models advance lazily).
+"""
+
+from repro.mobility.base import MobilityModel
+from repro.mobility.static import StaticPlacement
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.random_walk import RandomWalk
+from repro.mobility.gauss_markov import GaussMarkov
+from repro.mobility.trace import TraceMobility
+from repro.mobility.analysis import LinkChurnStats, link_churn, partition_fraction
+
+__all__ = [
+    "MobilityModel",
+    "StaticPlacement",
+    "RandomWaypoint",
+    "RandomWalk",
+    "GaussMarkov",
+    "TraceMobility",
+    "LinkChurnStats",
+    "link_churn",
+    "partition_fraction",
+]

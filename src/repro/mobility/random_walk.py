@@ -1,0 +1,98 @@
+"""Random-walk (random-direction) mobility with boundary reflection.
+
+Each node moves for an exponentially distributed epoch in a uniformly random
+direction at a uniformly random speed, reflecting off arena walls.  Used as
+an alternative fault-injection pattern in extension experiments; not part of
+the paper's headline evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.util.geometry import Arena
+
+
+class RandomWalk(MobilityModel):
+    """Reflecting random walk.
+
+    Parameters
+    ----------
+    v_min, v_max:
+        Speed bounds in m/s (v_min may be 0 here; decay is not an issue for
+        random walk because epochs are time- rather than distance-bounded).
+    mean_epoch:
+        Mean duration of a direction epoch, seconds.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        arena: Arena,
+        v_min: float,
+        v_max: float,
+        mean_epoch: float = 10.0,
+        rng: np.random.Generator = None,
+        initial_positions: np.ndarray = None,
+    ) -> None:
+        super().__init__(n_nodes, arena)
+        if rng is None:
+            raise ValueError("RandomWalk requires an rng")
+        if v_min < 0 or v_max < v_min:
+            raise ValueError("need 0 <= v_min <= v_max")
+        if mean_epoch <= 0:
+            raise ValueError("mean_epoch must be positive")
+        self.v_min = float(v_min)
+        self.v_max = float(v_max)
+        self.mean_epoch = float(mean_epoch)
+        self.rng = rng
+        self._pos = (
+            arena.sample_points(n_nodes, rng)
+            if initial_positions is None
+            else np.array(initial_positions, dtype=float)
+        )
+        if self._pos.shape != (n_nodes, 2):
+            raise ValueError(f"initial_positions must be ({n_nodes}, 2)")
+        self._t = 0.0
+        self._vel = np.zeros((n_nodes, 2))
+        self._epoch_end = np.zeros(n_nodes)
+
+    def _refresh_epochs(self, t: float) -> None:
+        need = self._epoch_end <= t
+        k = int(need.sum())
+        if k == 0:
+            return
+        angles = self.rng.uniform(0.0, 2.0 * np.pi, size=k)
+        speeds = self.rng.uniform(self.v_min, self.v_max, size=k)
+        self._vel[need, 0] = np.cos(angles) * speeds
+        self._vel[need, 1] = np.sin(angles) * speeds
+        self._epoch_end[need] = t + self.rng.exponential(self.mean_epoch, size=k)
+
+    def _positions_at(self, t: float) -> np.ndarray:
+        # Integrate in steps bounded by the earliest epoch boundary.
+        while self._t < t:
+            self._refresh_epochs(self._t)
+            step_end = min(t, float(self._epoch_end.min()))
+            dt = step_end - self._t
+            if dt > 0:
+                self._pos += self._vel * dt
+                self._reflect()
+            self._t = step_end
+            if step_end == t:
+                break
+        self._refresh_epochs(self._t)
+        return self._pos
+
+    def _reflect(self) -> None:
+        w, h = self.arena.width, self.arena.height
+        for dim, bound in ((0, w), (1, h)):
+            low = self._pos[:, dim] < 0.0
+            self._pos[low, dim] *= -1.0
+            self._vel[low, dim] *= -1.0
+            high = self._pos[:, dim] > bound
+            self._pos[high, dim] = 2.0 * bound - self._pos[high, dim]
+            self._vel[high, dim] *= -1.0
+            # Pathological velocities could still land outside after one
+            # reflection; clamp as a final guard.
+            np.clip(self._pos[:, dim], 0.0, bound, out=self._pos[:, dim])

@@ -1,0 +1,42 @@
+"""Static node placement (no movement)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.util.geometry import Arena
+
+
+class StaticPlacement(MobilityModel):
+    """Nodes stay at their initial positions forever.
+
+    Either pass explicit ``positions`` or a ``rng`` for uniform placement.
+    Used for WANET-style scenarios (the paper notes a WANET is a MANET
+    without mobility) and for deterministic unit tests.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        arena: Arena,
+        positions: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(n_nodes, arena)
+        if positions is not None:
+            pos = np.asarray(positions, dtype=float)
+            if pos.shape != (n_nodes, 2):
+                raise ValueError(f"positions must be ({n_nodes}, 2)")
+            if not arena.contains(pos).all():
+                raise ValueError("initial positions outside the arena")
+            self._pos = pos.copy()
+        else:
+            if rng is None:
+                raise ValueError("need positions or rng")
+            self._pos = arena.sample_points(n_nodes, rng)
+
+    def _positions_at(self, t: float) -> np.ndarray:
+        return self._pos

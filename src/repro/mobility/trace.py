@@ -1,0 +1,61 @@
+"""Trace-driven mobility: explicit per-node piecewise-linear waypoints.
+
+Used by tests to create exactly-timed topology changes (e.g. "node 3 walks
+out of range at t=30 s"), and to replay externally generated scenario files
+the way the paper replayed ns-2 ``setdest`` scenarios.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.util.geometry import Arena
+
+Waypoint = Tuple[float, float, float]  # (time, x, y)
+
+
+class TraceMobility(MobilityModel):
+    """Piecewise-linear interpolation through per-node waypoint lists.
+
+    ``traces[i]`` is a list of ``(t, x, y)`` tuples sorted by ``t``; before
+    the first waypoint the node sits at it, after the last it stays there.
+    """
+
+    def __init__(
+        self,
+        arena: Arena,
+        traces: Sequence[Sequence[Waypoint]],
+    ) -> None:
+        super().__init__(len(traces), arena)
+        self._times: List[np.ndarray] = []
+        self._points: List[np.ndarray] = []
+        for i, tr in enumerate(traces):
+            if not tr:
+                raise ValueError(f"trace {i} is empty")
+            ts = np.array([w[0] for w in tr], dtype=float)
+            if np.any(np.diff(ts) < 0):
+                raise ValueError(f"trace {i} times are not sorted")
+            pts = np.array([[w[1], w[2]] for w in tr], dtype=float)
+            if not arena.contains(pts).all():
+                raise ValueError(f"trace {i} leaves the arena")
+            self._times.append(ts)
+            self._points.append(pts)
+
+    def _positions_at(self, t: float) -> np.ndarray:
+        out = np.empty((self.n, 2))
+        for i in range(self.n):
+            ts, pts = self._times[i], self._points[i]
+            k = bisect_right(ts, t)
+            if k == 0:
+                out[i] = pts[0]
+            elif k >= len(ts):
+                out[i] = pts[-1]
+            else:
+                t0, t1 = ts[k - 1], ts[k]
+                frac = 0.0 if t1 == t0 else (t - t0) / (t1 - t0)
+                out[i] = pts[k - 1] + frac * (pts[k] - pts[k - 1])
+        return out

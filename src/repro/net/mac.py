@@ -1,0 +1,109 @@
+"""CSMA-style medium access with transmit jitter.
+
+Broadcast MANET protocols suffer synchronized-flood collisions; real stacks
+mitigate with carrier sense plus randomized deferral.  :class:`CsmaMac`
+implements the standard simplification: before transmitting, wait a random
+jitter; if the carrier is busy, back off uniformly and retry up to
+``max_attempts`` times; serialize a node's own frames (half duplex).
+
+This captures the contention behaviour the paper's ns-2 802.11 MAC produced
+(losses growing with offered load / flooding redundancy) without modelling
+DCF slot timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Network
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """MAC tuning knobs.
+
+    jitter_max:
+        Uniform transmit jitter in seconds applied to every frame (0
+        disables; protocols relaying a flood should keep this > 0).
+    backoff_max:
+        Upper bound of the uniform retry backoff when carrier is busy
+        (scaled by the attempt number: congestion builds real queueing
+        delay instead of silently shedding frames).
+    max_attempts:
+        Total send attempts before the frame is dropped at the MAC.
+    max_age:
+        Frames older than this (since the MAC accepted them) are dropped —
+        the bounded interface-queue lifetime.
+    """
+
+    jitter_max: float = 0.008
+    backoff_max: float = 0.012
+    max_attempts: int = 12
+    max_age: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.jitter_max < 0 or self.backoff_max <= 0 or self.max_attempts < 1:
+            raise ValueError("invalid MAC configuration")
+        if self.max_age <= 0:
+            raise ValueError("max_age must be positive")
+
+
+class CsmaMac:
+    """Per-node MAC entity."""
+
+    def __init__(
+        self,
+        network: "Network",
+        node_id: int,
+        config: MacConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.network = network
+        self.node_id = node_id
+        self.config = config
+        self.rng = rng
+        self.frames_dropped = 0
+        self.frames_sent = 0
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet, tx_range: float) -> None:
+        """Queue a frame for transmission with jitter + carrier sense."""
+        delay = (
+            float(self.rng.uniform(0.0, self.config.jitter_max))
+            if self.config.jitter_max > 0
+            else 0.0
+        )
+        accepted_at = self.network.sim.now
+        self.network.sim.schedule(
+            delay, self._attempt, packet, tx_range, 1, accepted_at
+        )
+
+    def _attempt(
+        self, packet: Packet, tx_range: float, attempt: int, accepted_at: float
+    ) -> None:
+        net = self.network
+        node = net.nodes[self.node_id]
+        if not node.alive:
+            return
+        now = net.sim.now
+        if now - accepted_at > self.config.max_age:
+            self.frames_dropped += 1
+            return
+        busy = net.medium.carrier_busy(self.node_id) or node.tx_busy_until > now
+        if busy:
+            if attempt >= self.config.max_attempts:
+                self.frames_dropped += 1
+                return
+            backoff = float(self.rng.uniform(0.0, self.config.backoff_max)) * attempt
+            net.sim.schedule(
+                backoff, self._attempt, packet, tx_range, attempt + 1, accepted_at
+            )
+            return
+        self.frames_sent += 1
+        net.medium.broadcast(self.node_id, packet, tx_range)

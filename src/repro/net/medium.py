@@ -1,0 +1,249 @@
+"""The shared wireless broadcast medium.
+
+Semantics (section 3 of the paper): "When a node transmits (broadcasts) a
+message, the nodes in its coverage area can (almost) simultaneously hear the
+message."  A transmission is parameterized by its power-controlled range
+``tx_range``; the sender is charged transmit energy for that range and every
+alive node within it is charged reception energy.  Whether the reception
+ends up *useful* or *discard* is decided by the receiving agent (see
+:meth:`repro.net.node.Node.deliver`).
+
+Collision model: a reception is corrupted if any other reception (or the
+node's own transmission — half duplex) overlaps it in time.  Corrupted
+frames still cost full reception energy (the radio listened) and are filed
+as discard energy.  An optional i.i.d. loss probability models residual
+channel error beyond collisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.net.packet import Packet
+from repro.util.ids import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Network
+
+
+@dataclass
+class Transmission:
+    """An in-flight frame on the air."""
+
+    sender: NodeId
+    sender_pos: np.ndarray
+    tx_range: float
+    t_start: float
+    t_end: float
+    packet: Packet
+
+
+@dataclass
+class _Reception:
+    """One receiver's view of an in-flight frame."""
+
+    tx: Transmission
+    receiver: NodeId
+    rx_power: float = 0.0  # relative received power (capture comparisons)
+    corrupted: bool = False
+
+
+class MediumStats:
+    """Medium-level counters (used by tests and the overhead metrics)."""
+
+    __slots__ = (
+        "frames_sent",
+        "frames_delivered",
+        "frames_collided",
+        "frames_lost_random",
+        "receptions_total",
+    )
+
+    def __init__(self) -> None:
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_collided = 0
+        self.frames_lost_random = 0
+        self.receptions_total = 0
+
+
+class WirelessMedium:
+    """Shared broadcast channel with collisions and carrier sense.
+
+    Parameters
+    ----------
+    network:
+        Owning :class:`~repro.net.node.Network` (positions, nodes, radio).
+    bitrate_bps:
+        Channel bitrate; 2 Mb/s matches the 802.11 basic rate ns-2 used.
+    loss_prob:
+        Per-(frame, receiver) i.i.d. loss probability beyond collisions.
+    rng:
+        Generator for random loss.
+    capture_threshold:
+        Power-capture ratio (ns-2's ``CPThresh``, default 10): when two
+        frames overlap at a receiver, the stronger survives if it exceeds
+        the weaker by this factor.  With power control this matters a lot:
+        a parent transmitting to a nearby child usually dominates a distant
+        interferer, which is how ns-2 kept dense multicast trees deliverable.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        bitrate_bps: float = 2_000_000.0,
+        loss_prob: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        capture_threshold: float = 10.0,
+    ) -> None:
+        if bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        if not 0.0 <= loss_prob < 1.0:
+            raise ValueError("loss_prob must be in [0, 1)")
+        if loss_prob > 0 and rng is None:
+            raise ValueError("loss_prob requires an rng")
+        if capture_threshold < 1.0:
+            raise ValueError("capture_threshold must be >= 1")
+        self.network = network
+        self.bitrate_bps = float(bitrate_bps)
+        self.loss_prob = float(loss_prob)
+        self.rng = rng
+        self.capture_threshold = float(capture_threshold)
+        self.stats = MediumStats()
+        self._active: List[Transmission] = []
+        self._receptions: Dict[NodeId, List[_Reception]] = {}
+
+    # ------------------------------------------------------------------
+    def airtime(self, packet: Packet) -> float:
+        """Seconds the frame occupies the channel."""
+        return packet.bits / self.bitrate_bps
+
+    def _prune(self, now: float) -> None:
+        if self._active:
+            self._active = [tx for tx in self._active if tx.t_end > now]
+
+    # ------------------------------------------------------------------
+    def carrier_busy(self, node: NodeId) -> bool:
+        """Carrier sense: can ``node`` hear any ongoing transmission?"""
+        now = self.network.sim.now
+        self._prune(now)
+        if not self._active:
+            return False
+        pos = self.network.positions()[node]
+        for tx in self._active:
+            if tx.sender == node:
+                return True
+            d = float(np.hypot(pos[0] - tx.sender_pos[0], pos[1] - tx.sender_pos[1]))
+            if d <= tx.tx_range:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def broadcast(self, sender: NodeId, packet: Packet, tx_range: float) -> Transmission:
+        """Put a frame on the air with power reaching ``tx_range``.
+
+        Charges the sender, computes the receiver set from current
+        positions, applies the collision/loss model, and schedules per-
+        receiver delivery at the end of the airtime.
+        """
+        net = self.network
+        sim = net.sim
+        now = sim.now
+        radio = net.radio
+        if tx_range <= 0:
+            raise ValueError("tx_range must be positive")
+        tx_range = min(tx_range, radio.max_range)
+
+        sender_node = net.nodes[sender]
+        if not sender_node.alive:
+            raise RuntimeError(f"dead node {sender} cannot transmit")
+
+        positions = net.positions().copy()  # freeze positions at tx start
+        duration = self.airtime(packet)
+        tx = Transmission(
+            sender=sender,
+            sender_pos=positions[sender].copy(),
+            tx_range=float(tx_range),
+            t_start=now,
+            t_end=now + duration,
+            packet=packet,
+        )
+        self._prune(now)
+        self._active.append(tx)
+        self.stats.frames_sent += 1
+        hub = getattr(net, "hub", None)
+        if hub is not None:
+            hub.on_frame_sent(packet)
+
+        # Sender pays for the power-controlled transmission.
+        sender_node.charge_tx(radio.tx_energy(packet.bits, tx_range), packet)
+
+        # Receiver set: alive nodes strictly within tx range (not sender).
+        deltas = positions - tx.sender_pos
+        dists = np.hypot(deltas[:, 0], deltas[:, 1])
+        in_range = np.nonzero((dists <= tx_range) & (dists > 0.0))[0]
+
+        for rid in in_range:
+            rid = int(rid)
+            node = net.nodes[rid]
+            if not node.alive:
+                continue
+            d = max(float(dists[rid]), 1.0)
+            # Relative received power: transmit power scales with the
+            # power-controlled range^alpha, path loss with distance^alpha.
+            rec = _Reception(tx=tx, receiver=rid, rx_power=(tx_range / d) ** 2)
+            # Half duplex: receiver currently transmitting -> corrupted.
+            if net.nodes[rid].tx_busy_until > now:
+                rec.corrupted = True
+            # Collisions with other in-flight receptions at this node,
+            # subject to power capture (ns-2 CPThresh semantics).
+            ongoing = self._receptions.setdefault(rid, [])
+            cp = self.capture_threshold
+            for other in ongoing:
+                if other.tx.t_end > now:  # overlap in time
+                    if rec.rx_power >= other.rx_power * cp:
+                        other.corrupted = True  # we capture the receiver
+                    elif other.rx_power >= rec.rx_power * cp:
+                        rec.corrupted = True  # the ongoing frame dominates
+                    else:
+                        other.corrupted = True
+                        rec.corrupted = True
+            ongoing.append(rec)
+            # Residual random loss.
+            if not rec.corrupted and self.loss_prob > 0.0:
+                if float(self.rng.random()) < self.loss_prob:
+                    rec.corrupted = True
+                    self.stats.frames_lost_random += 1
+            sim.schedule(duration, self._complete_reception, rec)
+
+        net.nodes[sender].tx_busy_until = max(
+            net.nodes[sender].tx_busy_until, tx.t_end
+        )
+        return tx
+
+    # ------------------------------------------------------------------
+    def _complete_reception(self, rec: _Reception) -> None:
+        net = self.network
+        node = net.nodes[rec.receiver]
+        lst = self._receptions.get(rec.receiver)
+        if lst is not None:
+            try:
+                lst.remove(rec)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        if not node.alive:
+            return
+        packet = rec.tx.packet
+        self.stats.receptions_total += 1
+        # The radio listened for the full frame either way.
+        joules = net.radio.rx_energy(packet.bits)
+        node.charge_rx(joules, packet)
+        if rec.corrupted:
+            self.stats.frames_collided += 1
+            node.reclassify_discard(joules, packet)
+            return
+        self.stats.frames_delivered += 1
+        node.deliver(packet, joules)

@@ -1,0 +1,267 @@
+"""Nodes and the Network container.
+
+A :class:`Network` owns the simulator, mobility model, radio model, medium
+and all :class:`Node` objects; it is the single place positions are sampled
+(cached per timestamp, vectorized).  A :class:`Node` is dumb plumbing:
+energy ledger, battery, MAC, and a pluggable :class:`ProtocolAgent` that
+implements actual behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.energy.battery import Battery
+from repro.energy.ledger import EnergyLedger
+from repro.energy.radio import RadioModel
+from repro.mobility.base import MobilityModel
+from repro.net.mac import CsmaMac, MacConfig
+from repro.net.medium import WirelessMedium
+from repro.net.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.util.geometry import pairwise_distances
+from repro.util.ids import NodeId
+from repro.util.rng import RngStreams
+
+
+class ProtocolAgent(abc.ABC):
+    """Protocol behaviour attached to a node.
+
+    Concrete agents live in :mod:`repro.protocols`.  The contract:
+
+    * :meth:`start` is called once at simulation start;
+    * :meth:`handle_packet` is called for every successfully received frame
+      and must return True if the frame was *useful* to this node, False if
+      it was discarded (drives discard-energy accounting);
+    * :meth:`stop` is called at teardown (cancel timers).
+    """
+
+    def __init__(self, node: "Node") -> None:
+        self.node = node
+
+    @property
+    def network(self) -> "Network":
+        return self.node.network
+
+    @property
+    def sim(self) -> Simulator:
+        return self.node.network.sim
+
+    @abc.abstractmethod
+    def start(self) -> None: ...
+
+    @abc.abstractmethod
+    def handle_packet(self, packet: Packet) -> bool: ...
+
+    def stop(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_node_death(self) -> None:  # pragma: no cover - default no-op
+        """Called if the node's battery depletes."""
+
+
+class Node:
+    """One mobile host: identity, energy state, MAC, protocol agent."""
+
+    def __init__(
+        self,
+        network: "Network",
+        node_id: NodeId,
+        mac_rng: np.random.Generator,
+        battery_capacity_j: float = float("inf"),
+    ) -> None:
+        self.network = network
+        self.id = node_id
+        self.ledger = EnergyLedger()
+        self.battery = Battery(battery_capacity_j, on_depleted=self._die)
+        self.mac = CsmaMac(network, node_id, network.mac_config, mac_rng)
+        self.agent: Optional[ProtocolAgent] = None
+        self.alive = True
+        self.tx_busy_until = 0.0
+        self.is_member = False  # multicast group membership
+        self.is_source = False
+
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> np.ndarray:
+        """Current position (sampled through the network cache)."""
+        return self.network.positions()[self.id]
+
+    def send(self, packet: Packet, tx_range: float) -> None:
+        """Hand a frame to the MAC for (jittered, carrier-sensed) broadcast."""
+        if self.alive:
+            self.mac.send(packet, tx_range)
+
+    # ------------------------------------------------------------------
+    # Energy plumbing (called by the medium)
+    # ------------------------------------------------------------------
+    def charge_tx(self, joules: float, packet: Packet) -> None:
+        self.ledger.charge("tx", packet.traffic_class, joules)
+        self.battery.draw(joules)
+
+    def charge_rx(self, joules: float, packet: Packet) -> None:
+        self.ledger.charge("rx", packet.traffic_class, joules)
+        self.battery.draw(joules)
+
+    def reclassify_discard(self, joules: float, packet: Packet) -> None:
+        self.ledger.reclassify_rx_as_discard(packet.traffic_class, joules)
+
+    def deliver(self, packet: Packet, rx_joules: float) -> None:
+        """Deliver a clean frame to the agent; refile energy if discarded."""
+        if self.agent is None:
+            self.reclassify_discard(rx_joules, packet)
+            return
+        useful = self.agent.handle_packet(packet)
+        if not useful:
+            self.reclassify_discard(rx_joules, packet)
+
+    # ------------------------------------------------------------------
+    def _die(self) -> None:
+        if self.alive:
+            self.alive = False
+            if self.agent is not None:
+                self.agent.on_node_death()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        flags = "".join(
+            c
+            for c, on in (("S", self.is_source), ("M", self.is_member))
+            if on
+        )
+        return f"Node({self.id}{' ' + flags if flags else ''})"
+
+
+class Network:
+    """The complete simulated network.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event kernel.
+    mobility:
+        Position process for all nodes.
+    radio:
+        Energy/range model shared by all nodes.
+    streams:
+        Root RNG streams (MAC jitter and loss draw from substreams).
+    mac_config:
+        MAC tuning (jitter, backoff).
+    bitrate_bps / loss_prob:
+        Channel parameters forwarded to :class:`WirelessMedium`.
+    battery_capacity_j:
+        Per-node battery (infinite by default, as in the paper).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mobility: MobilityModel,
+        radio: RadioModel,
+        streams: RngStreams,
+        mac_config: Optional[MacConfig] = None,
+        bitrate_bps: float = 2_000_000.0,
+        loss_prob: float = 0.0,
+        battery_capacity_j: float = float("inf"),
+        capture_threshold: float = 10.0,
+    ) -> None:
+        self.sim = sim
+        self.mobility = mobility
+        self.radio = radio
+        self.streams = streams
+        self.mac_config = mac_config or MacConfig()
+        self.medium = WirelessMedium(
+            self,
+            bitrate_bps=bitrate_bps,
+            loss_prob=loss_prob,
+            rng=streams.get("medium.loss") if loss_prob > 0 else None,
+            capture_threshold=capture_threshold,
+        )
+        self.nodes: List[Node] = [
+            Node(
+                self,
+                i,
+                mac_rng=streams.get(f"mac.{i}"),
+                battery_capacity_j=battery_capacity_j,
+            )
+            for i in range(mobility.n)
+        ]
+        self._pos_cache_t = -1.0
+        self._pos_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.nodes)
+
+    def positions(self) -> np.ndarray:
+        """All node positions at the current instant (cached per timestamp)."""
+        now = self.sim.now
+        if self._pos_cache is None or self._pos_cache_t != now:
+            self._pos_cache = self.mobility.positions(now).copy()
+            self._pos_cache_t = now
+        return self._pos_cache
+
+    def distance_matrix(self) -> np.ndarray:
+        """Pairwise distances at the current instant."""
+        return pairwise_distances(self.positions())
+
+    def adjacency(self, radius: Optional[float] = None) -> np.ndarray:
+        """Boolean connectivity at max power (or a given radius)."""
+        r = self.radio.max_range if radius is None else radius
+        d = self.distance_matrix()
+        adj = (d <= r) & (d > 0.0)
+        alive = np.array([nd.alive for nd in self.nodes])
+        adj &= alive[:, None] & alive[None, :]
+        return adj
+
+    # ------------------------------------------------------------------
+    def set_group(self, source: NodeId, members: Sequence[NodeId]) -> None:
+        """Declare the multicast source and receiver membership."""
+        for node in self.nodes:
+            node.is_member = False
+            node.is_source = False
+        self.nodes[source].is_source = True
+        self.nodes[source].is_member = True
+        for m in members:
+            self.nodes[m].is_member = True
+
+    @property
+    def members(self) -> Set[NodeId]:
+        return {nd.id for nd in self.nodes if nd.is_member}
+
+    @property
+    def source(self) -> NodeId:
+        for nd in self.nodes:
+            if nd.is_source:
+                return nd.id
+        raise RuntimeError("no multicast source declared")
+
+    @property
+    def receivers(self) -> Set[NodeId]:
+        """Group members excluding the source."""
+        return {nd.id for nd in self.nodes if nd.is_member and not nd.is_source}
+
+    # ------------------------------------------------------------------
+    def attach_agents(self, factory) -> None:
+        """Create an agent per node via ``factory(node) -> ProtocolAgent``."""
+        for node in self.nodes:
+            node.agent = factory(node)
+
+    def start(self) -> None:
+        """Start every agent."""
+        for node in self.nodes:
+            if node.agent is not None:
+                node.agent.start()
+
+    def stop(self) -> None:
+        """Stop every agent (cancel timers)."""
+        for node in self.nodes:
+            if node.agent is not None:
+                node.agent.stop()
+
+    def total_energy(self) -> float:
+        """Network-wide joules across every node and bucket."""
+        return sum(nd.ledger.total for nd in self.nodes)

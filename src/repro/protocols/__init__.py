@@ -1,0 +1,37 @@
+"""DES protocol implementations.
+
+Six multicast protocols run on the :mod:`repro.net` substrate:
+
+* :class:`SSSPSTAgent` with a pluggable cost metric — the SS-SPST family
+  (SS-SPST / -T / -F / -E), proactive and self-stabilizing via periodic
+  beacons (paper sections 2-5);
+* :class:`MaodvAgent` — tree-based on-demand baseline (RREQ/RREP/MACT +
+  group-leader hello), after Royer & Perkins;
+* :class:`OdmrpAgent` — mesh-based on-demand baseline (JOIN-QUERY /
+  JOIN-REPLY forwarding group), after Gerla, Lee & Chiang;
+* :class:`FloodingAgent` — the every-node-rebroadcasts reference.
+
+Use :func:`make_agent_factory` to instantiate by protocol name
+("ss-spst", "ss-spst-t", "ss-spst-f", "ss-spst-e", "maodv", "odmrp",
+"flooding").
+"""
+
+from repro.protocols.base import MulticastAgent
+from repro.protocols.ss_spst import SSSPSTAgent, SSSPSTConfig
+from repro.protocols.maodv import MaodvAgent, MaodvConfig
+from repro.protocols.odmrp import OdmrpAgent, OdmrpConfig
+from repro.protocols.flooding import FloodingAgent
+from repro.protocols.registry import PROTOCOL_NAMES, make_agent_factory
+
+__all__ = [
+    "MulticastAgent",
+    "SSSPSTAgent",
+    "SSSPSTConfig",
+    "MaodvAgent",
+    "MaodvConfig",
+    "OdmrpAgent",
+    "OdmrpConfig",
+    "FloodingAgent",
+    "PROTOCOL_NAMES",
+    "make_agent_factory",
+]

@@ -1,0 +1,32 @@
+"""Plain flooding: the trivial reference multicast.
+
+Every node rebroadcasts every data packet exactly once at full power.
+Maximal robustness and maximal cost — a useful upper/lower reference line
+for the PDR and energy benches.
+"""
+
+from __future__ import annotations
+
+from repro.net.node import Node
+from repro.net.packet import Packet, PacketKind
+from repro.protocols.base import MulticastAgent
+
+
+class FloodingAgent(MulticastAgent):
+    """One flooding node."""
+
+    def start(self) -> None:  # no control plane at all
+        pass
+
+    def handle_packet(self, packet: Packet) -> bool:
+        if packet.kind is not PacketKind.DATA:
+            return False
+        if self.dups.seen_before(packet.flow_key):
+            return False
+        if self.is_member:
+            self.deliver_locally(packet)
+        self.node.send(packet.relay(self.node.id), self.max_range)
+        return True
+
+    def _send_fresh_data(self, packet: Packet) -> None:
+        self.node.send(packet, self.max_range)

@@ -1,0 +1,65 @@
+"""Protocol factory: build per-node agents by protocol name."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.metrics import metric_by_name
+from repro.net.node import Node, ProtocolAgent
+from repro.protocols.flooding import FloodingAgent
+from repro.protocols.maodv import MaodvAgent, MaodvConfig
+from repro.protocols.odmrp import OdmrpAgent, OdmrpConfig
+from repro.protocols.ss_spst import SSSPSTAgent, SSSPSTConfig
+
+#: protocol name -> SS-SPST metric name (None = not in the family)
+_SS_FAMILY = {
+    "ss-spst": "hop",
+    "ss-spst-t": "tx",
+    "ss-spst-f": "farthest",
+    "ss-spst-e": "energy",
+}
+
+PROTOCOL_NAMES = tuple(_SS_FAMILY) + ("maodv", "odmrp", "flooding")
+
+
+def make_agent_factory(
+    protocol: str,
+    *,
+    beacon_interval: float = 2.0,
+    ss_config: Optional[SSSPSTConfig] = None,
+    maodv_config: Optional[MaodvConfig] = None,
+    odmrp_config: Optional[OdmrpConfig] = None,
+) -> Callable[[Node], ProtocolAgent]:
+    """Return a ``factory(node) -> agent`` for :meth:`Network.attach_agents`.
+
+    ``beacon_interval`` is a convenience for the SS-SPST family (the
+    paper's Figure 10/11 sweep); pass a full ``ss_config`` to tune more.
+    """
+    protocol = protocol.lower()
+    if protocol in _SS_FAMILY:
+        metric_name = _SS_FAMILY[protocol]
+        if ss_config is not None:
+            config = ss_config
+        else:
+            # SS-SPST-F runs undamped: its "dynamic nature which causes
+            # unstability" (section 7.1) is a finding the paper reports,
+            # and route-flap damping would mask it.
+            undamped = metric_name == "farthest"
+            config = SSSPSTConfig(
+                beacon_interval=beacon_interval,
+                switch_threshold=0.0 if undamped else 0.10,
+                hold_down_intervals=0.0 if undamped else 3.0,
+            )
+
+        def factory(node: Node) -> ProtocolAgent:
+            metric = metric_by_name(metric_name, node.network.radio)
+            return SSSPSTAgent(node, metric, config)
+
+        return factory
+    if protocol == "maodv":
+        return lambda node: MaodvAgent(node, maodv_config)
+    if protocol == "odmrp":
+        return lambda node: OdmrpAgent(node, odmrp_config)
+    if protocol == "flooding":
+        return lambda node: FloodingAgent(node)
+    raise ValueError(f"unknown protocol {protocol!r}; choose from {PROTOCOL_NAMES}")

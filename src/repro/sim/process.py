@@ -1,0 +1,116 @@
+"""Generator-based processes on top of the event kernel (simpy-style).
+
+A process is a Python generator that yields either
+
+* a non-negative number — sleep for that many seconds, or
+* a :class:`Signal` — suspend until someone calls :meth:`Signal.fire`;
+  the fired value is sent back into the generator.
+
+Example::
+
+    def source(sim, medium):
+        while True:
+            medium.broadcast(...)
+            yield 0.25          # inter-packet gap
+
+    start_process(sim, source(sim, medium))
+
+Processes are sugar over callbacks; protocol agents that need fine control
+use the kernel directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Union
+
+from repro.sim.kernel import Simulator, SimulationError
+
+Yieldable = Union[float, int, "Signal"]
+
+
+class Signal:
+    """A one-shot or reusable wake-up condition for processes.
+
+    Multiple processes may wait on the same signal; ``fire`` wakes all
+    current waiters (FIFO) and resets the signal for reuse.
+    """
+
+    __slots__ = ("_sim", "_waiters")
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._waiters: List["Process"] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Wake every waiting process, delivering ``value``."""
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            # Resume at the current instant but after the in-flight event.
+            self._sim.schedule(0.0, proc._resume, value)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    @property
+    def waiting(self) -> int:
+        """Number of processes currently parked on the signal."""
+        return len(self._waiters)
+
+
+class Process:
+    """Driver wrapping a generator; interacts with the kernel via events."""
+
+    __slots__ = ("sim", "_gen", "alive", "_pending_event")
+
+    def __init__(self, sim: Simulator, gen: Generator[Yieldable, Any, None]) -> None:
+        self.sim = sim
+        self._gen = gen
+        self.alive = True
+        self._pending_event = None
+
+    def start(self, delay: float = 0.0) -> "Process":
+        """Schedule the first step of the process."""
+        self._pending_event = self.sim.schedule(delay, self._resume, None)
+        return self
+
+    def stop(self) -> None:
+        """Kill the process: close the generator, cancel pending wake-ups."""
+        if not self.alive:
+            return
+        self.alive = False
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self._gen.close()
+
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        self._pending_event = None
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration:
+            self.alive = False
+            return
+        self._park(yielded)
+
+    def _park(self, yielded: Yieldable) -> None:
+        if isinstance(yielded, Signal):
+            yielded._add_waiter(self)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self.alive = False
+                raise SimulationError("process yielded a negative delay")
+            self._pending_event = self.sim.schedule(float(yielded), self._resume, None)
+        else:
+            self.alive = False
+            raise SimulationError(f"process yielded unsupported value {yielded!r}")
+
+
+def start_process(
+    sim: Simulator,
+    gen: Generator[Yieldable, Any, None],
+    delay: float = 0.0,
+) -> Process:
+    """Create and start a :class:`Process` for ``gen``."""
+    return Process(sim, gen).start(delay)

@@ -1,0 +1,5 @@
+"""Application traffic generators."""
+
+from repro.traffic.cbr import CbrSource
+
+__all__ = ["CbrSource"]

@@ -1,0 +1,45 @@
+"""Shared low-level utilities: identifiers, geometry, RNG streams, units.
+
+These helpers are dependency-free (NumPy only) and used by every other
+subpackage.  Nothing in here knows about simulation, protocols or energy.
+"""
+
+from repro.util.ids import NodeId, IdAllocator
+from repro.util.geometry import (
+    Arena,
+    distance,
+    pairwise_distances,
+    neighbors_within,
+    clamp_point,
+)
+from repro.util.rng import RngStreams, derive_seed
+from repro.util.units import (
+    BITS_PER_BYTE,
+    KBPS,
+    MS,
+    US,
+    joules_to_mj,
+    mj_to_joules,
+    bytes_to_bits,
+    bits_to_bytes,
+)
+
+__all__ = [
+    "NodeId",
+    "IdAllocator",
+    "Arena",
+    "distance",
+    "pairwise_distances",
+    "neighbors_within",
+    "clamp_point",
+    "RngStreams",
+    "derive_seed",
+    "BITS_PER_BYTE",
+    "KBPS",
+    "MS",
+    "US",
+    "joules_to_mj",
+    "mj_to_joules",
+    "bytes_to_bits",
+    "bits_to_bytes",
+]

@@ -1,0 +1,44 @@
+"""Node identifiers.
+
+The paper assumes "each node in the MANET is identified by a unique
+identifier" (section 3).  We model identifiers as plain integers so they can
+index NumPy arrays directly; :class:`IdAllocator` hands them out densely.
+"""
+
+from __future__ import annotations
+
+NodeId = int
+"""Type alias for node identifiers (dense non-negative integers)."""
+
+
+class IdAllocator:
+    """Dense, monotonically increasing identifier allocator.
+
+    Identifiers start at 0 so they can double as indices into position /
+    energy arrays.
+
+    >>> alloc = IdAllocator()
+    >>> alloc.next(), alloc.next(), alloc.count
+    (0, 1, 2)
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("identifier start must be non-negative")
+        self._next = start
+        self._start = start
+
+    def next(self) -> NodeId:
+        """Return a fresh identifier."""
+        nid = self._next
+        self._next += 1
+        return nid
+
+    @property
+    def count(self) -> int:
+        """Number of identifiers handed out so far."""
+        return self._next - self._start
+
+    def reset(self) -> None:
+        """Forget all allocations (used between independent scenarios)."""
+        self._next = self._start

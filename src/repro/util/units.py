@@ -1,0 +1,38 @@
+"""Unit constants and conversions.
+
+Internally the simulator works in SI units: seconds, metres, joules, bits.
+The paper reports energies in millijoules and delays in milliseconds; the
+conversion helpers keep those boundaries explicit.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+KBPS = 1_000.0  # bits per second in one kilobit/s
+MS = 1e-3  # seconds in one millisecond
+US = 1e-6  # seconds in one microsecond
+
+
+def bytes_to_bits(n_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return n_bytes * BITS_PER_BYTE
+
+
+def bits_to_bytes(n_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return n_bits / BITS_PER_BYTE
+
+
+def joules_to_mj(j: float) -> float:
+    """Joules -> millijoules (the paper's reporting unit)."""
+    return j * 1e3
+
+
+def mj_to_joules(mj: float) -> float:
+    """Millijoules -> joules."""
+    return mj * 1e-3
+
+
+def kbps_to_bps(kbps: float) -> float:
+    """Kilobits/s -> bits/s."""
+    return kbps * KBPS

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy.radio import FirstOrderRadioModel
+from repro.sim.kernel import Simulator
+from repro.util.geometry import Arena
+from repro.util.rng import RngStreams
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def arena() -> Arena:
+    return Arena(750.0, 750.0)
+
+
+@pytest.fixture
+def radio() -> FirstOrderRadioModel:
+    return FirstOrderRadioModel()
+
+
+@pytest.fixture
+def example_radio() -> FirstOrderRadioModel:
+    """The radio used by the worked examples (higher reception cost)."""
+    from repro.core.examples import EXAMPLE_RADIO
+
+    return EXAMPLE_RADIO
+
+
+@pytest.fixture
+def streams() -> RngStreams:
+    return RngStreams(12345)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(987654321)

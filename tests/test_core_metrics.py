@@ -1,0 +1,194 @@
+"""Tests for the four cost metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GlobalView,
+    NodeState,
+    fresh_states,
+    metric_by_name,
+)
+from repro.core.examples import EXAMPLE_RADIO, figure1_topology, figure5_topology
+from repro.core.metrics import (
+    METRIC_NAMES,
+    PROTOCOL_LABELS,
+    EnergyAwareMetric,
+    FarthestChildMetric,
+    HopMetric,
+    TxEnergyMetric,
+)
+from repro.graph import Topology, TreeAssignment
+
+
+@pytest.fixture
+def topo():
+    return figure1_topology()
+
+
+def states_for_tree(topo, parents):
+    """Build a state vector whose parent pointers match a tree (costs crude)."""
+    sts = []
+    for v, p in enumerate(parents):
+        if v == topo.source:
+            sts.append(NodeState(None, 0.0, 0))
+        else:
+            hop = 1
+            cur = p
+            while cur is not None and cur != topo.source:
+                hop += 1
+                cur = parents[cur]
+            sts.append(NodeState(p, 1.0, hop))
+    return sts
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in METRIC_NAMES:
+            m = metric_by_name(name, EXAMPLE_RADIO)
+            assert m.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            metric_by_name("bogus", EXAMPLE_RADIO)
+
+    def test_labels_match_paper(self):
+        assert PROTOCOL_LABELS["hop"] == "SS-SPST"
+        assert PROTOCOL_LABELS["tx"] == "SS-SPST-T"
+        assert PROTOCOL_LABELS["farthest"] == "SS-SPST-F"
+        assert PROTOCOL_LABELS["energy"] == "SS-SPST-E"
+
+
+class TestHopMetric:
+    def test_join_cost_is_hops(self, topo):
+        m = HopMetric(EXAMPLE_RADIO)
+        states = fresh_states(topo, m)
+        view = GlobalView(topo, states)
+        # Joining the root costs 1 hop.
+        assert m.join_cost(view, 1, 0) == 1.0
+
+    def test_tree_cost_is_sum_of_depths(self, topo):
+        m = HopMetric(EXAMPLE_RADIO)
+        tree = TreeAssignment(topo, [None, 0, 0, 0, 7, 6, 0, 0, 4, 4])
+        expected = sum(tree.depth(v) for v in range(topo.n))
+        assert m.tree_cost(topo, tree) == expected
+
+    def test_infinity_exceeds_any_path(self, topo):
+        m = HopMetric(EXAMPLE_RADIO)
+        assert m.infinity(topo) > topo.n
+
+
+class TestTxEnergyMetric:
+    def test_join_cost_additive(self, topo):
+        m = TxEnergyMetric(EXAMPLE_RADIO)
+        states = fresh_states(topo, m)
+        view = GlobalView(topo, states)
+        assert m.join_cost(view, 7, 0) == pytest.approx(m.etx(120.06))
+
+    def test_tree_cost_sums_links(self, topo):
+        m = TxEnergyMetric(EXAMPLE_RADIO)
+        tree = TreeAssignment(topo, [None, 0, 0, 0, 7, 6, 0, 0, 4, 4])
+        expected = sum(m.etx(topo.dist[p, v]) for p, v in tree.edges())
+        assert m.tree_cost(topo, tree) == pytest.approx(expected)
+
+    def test_prefers_relay_on_long_links(self):
+        """The SS-SPST-T rationale (Example 2): relaying 200 m through a
+        75 m + 120 m tandem is cheaper under the link metric."""
+        m = TxEnergyMetric(EXAMPLE_RADIO)
+        assert m.etx(120.06) + m.etx(75.37) < m.etx(200.03)
+
+
+class TestFarthestChildMetric:
+    def test_multicast_advantage(self, topo):
+        """Joining a parent whose radius already covers you costs ~E_rx."""
+        m = FarthestChildMetric(EXAMPLE_RADIO)
+        # Tree where 4 is child of 7 and 5 hangs off 4 at 120.45.
+        states = states_for_tree(topo, [None, 0, 0, 0, 7, 4, 0, 0, None, None])
+        view = GlobalView(topo, states)
+        # Node 8 at 75.48 from 4 (covered by the 120.45 radius): delta = E_rx.
+        oc_with_radius = m.join_cost(view, 8, 4)
+        base = view.state_of(4).cost
+        assert oc_with_radius - base == pytest.approx(m.e_rx)
+
+    def test_uncovered_child_pays_stretch(self, topo):
+        m = FarthestChildMetric(EXAMPLE_RADIO)
+        # 4's only child is 8 (75.48); adding 5 at 120.45 stretches it.
+        states = states_for_tree(topo, [None, 0, 0, 0, 7, None, 0, 0, 4, None])
+        view = GlobalView(topo, states)
+        delta = m.join_cost(view, 5, 4) - view.state_of(4).cost
+        assert delta == pytest.approx(m.etx(120.45) - m.etx(75.48) + m.e_rx)
+
+    def test_node_cost_counts_children_rx(self, topo):
+        m = FarthestChildMetric(EXAMPLE_RADIO)
+        tree = TreeAssignment(topo, [None, 0, 0, 0, 7, 4, 0, 0, 4, 4])
+        # Node 4 has children {5, 8, 9}: radius 120.45, 3 receptions.
+        assert m.node_cost(topo, tree, 4) == pytest.approx(
+            m.etx(120.45) + 3 * m.e_rx
+        )
+
+    def test_leaf_costs_nothing(self, topo):
+        m = FarthestChildMetric(EXAMPLE_RADIO)
+        tree = TreeAssignment(topo, [None, 0, 0, 0, 7, 4, 0, 0, 4, 4])
+        assert m.node_cost(topo, tree, 1) == 0.0
+
+
+class TestEnergyAwareMetric:
+    def test_node_cost_includes_all_in_range(self, topo):
+        m = EnergyAwareMetric(EXAMPLE_RADIO)
+        tree = TreeAssignment(topo, [None, 0, 0, 0, 7, 4, 0, 0, 4, 4])
+        # 4's flagged children: {5} (8, 9 are non-members and leaves).
+        # Radius 120.45 covers neighbors 7, 3, 5, 8, 9 -> 5 receptions.
+        assert m.node_cost(topo, tree, 4) == pytest.approx(
+            m.etx(120.45) + 5 * m.e_rx
+        )
+
+    def test_discard_cost_excludes_intended(self, topo):
+        m = EnergyAwareMetric(EXAMPLE_RADIO)
+        tree = TreeAssignment(topo, [None, 0, 0, 0, 7, 4, 0, 0, 4, 4])
+        # Of the 5 in-range listeners of node 4, only child 5 is intended.
+        assert m.discard_cost(topo, tree, 4) == pytest.approx(4 * m.e_rx)
+
+    def test_pruned_node_is_silent(self, topo):
+        m = EnergyAwareMetric(EXAMPLE_RADIO)
+        # 4's children are only the non-members 8, 9: fully pruned.
+        tree = TreeAssignment(topo, [None, 0, 0, 6, 7, 6, 0, 0, 4, 4])
+        assert m.node_cost(topo, tree, 4) == 0.0
+        assert tree.data_tx_radius(4) == 0.0
+
+    def test_unflagged_join_is_free(self, topo):
+        m = EnergyAwareMetric(EXAMPLE_RADIO)
+        states = states_for_tree(topo, [None, 0, 0, 0, 7, None, 0, 0, None, None])
+        view = GlobalView(topo, states)
+        # Node 8 is a non-member leaf: no data obligation for 4.
+        assert m.join_cost(view, 8, 4) == pytest.approx(
+            view.path_price(4, 8, False, m)
+        )
+
+    def test_figure5_discard_steering(self):
+        """The fully specified Figure-5 check: equal path costs, but parent
+        1 has three non-group neighbors inside the transmission range, so
+        the E metric must price joining 1 strictly higher than joining 2."""
+        topo5 = figure5_topology()
+        m = EnergyAwareMetric(EXAMPLE_RADIO)
+        states = states_for_tree(topo5, [None, 0, 0, None, None, None, None])
+        view = GlobalView(topo5, states)
+        assert m.join_cost(view, 3, 2) < m.join_cost(view, 3, 1)
+        # The difference is exactly the 3 extra overhearers.
+        diff = m.join_cost(view, 3, 1) - m.join_cost(view, 3, 2)
+        assert diff == pytest.approx(3 * m.e_rx)
+
+    def test_beacon_overhead_larger_than_family(self):
+        """SS-SPST-E 'sends additional information in its beacon packet'."""
+        e = EnergyAwareMetric(EXAMPLE_RADIO)
+        h = HopMetric(EXAMPLE_RADIO)
+        assert e.beacon_extra_bytes_fixed > 0
+        assert e.beacon_extra_bytes_per_neighbor > 0
+        assert h.beacon_extra_bytes_fixed == 0
+
+
+class TestInfinity:
+    @pytest.mark.parametrize("name", METRIC_NAMES)
+    def test_infinity_dominates_tree_costs(self, topo, name):
+        m = metric_by_name(name, EXAMPLE_RADIO)
+        tree = TreeAssignment(topo, [None, 0, 0, 0, 7, 6, 0, 0, 4, 4])
+        assert m.infinity(topo) > m.tree_cost(topo, tree)

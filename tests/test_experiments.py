@@ -1,0 +1,165 @@
+"""Tests for the experiment harness (config, runner, sweeps, figures)."""
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import FIGURES, FigureDef
+from repro.experiments.runner import RunResult, build_network, run_scenario
+from repro.experiments.sweeps import Sweep, SweepResult
+
+
+class TestScenarioConfig:
+    def test_defaults_match_paper(self):
+        cfg = ScenarioConfig()
+        assert cfg.n_nodes == 50
+        assert cfg.arena_w == 750.0 and cfg.arena_h == 750.0
+        assert cfg.sim_time == 1800.0
+        assert cfg.rate_kbps == 64.0
+        assert cfg.beacon_interval == 2.0
+        assert cfg.v_min > 0  # Noble fix
+
+    def test_quick_scales_down(self):
+        cfg = ScenarioConfig.quick()
+        assert cfg.sim_time < 300
+        assert cfg.rate_kbps < 64.0
+        assert cfg.n_nodes == 50  # structure preserved
+
+    def test_replace(self):
+        cfg = ScenarioConfig.quick().replace(v_max=12.0, protocol="odmrp")
+        assert cfg.v_max == 12.0 and cfg.protocol == "odmrp"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(group_size=1)
+        with pytest.raises(ValueError):
+            ScenarioConfig(group_size=51)
+        with pytest.raises(ValueError):
+            ScenarioConfig(sim_time=5.0, traffic_start=10.0)
+
+    def test_hashable_for_caching(self):
+        a = ScenarioConfig.quick(seed=1)
+        b = ScenarioConfig.quick(seed=1)
+        assert a == b and hash(a) == hash(b)
+        assert {a: 1}[b] == 1
+
+
+class TestRunner:
+    def test_build_network_group(self):
+        cfg = ScenarioConfig.quick(group_size=10, seed=7)
+        sim, net = build_network(cfg)
+        assert net.source == 0
+        assert len(net.members) == 10
+        assert len(net.receivers) == 9
+
+    def test_same_seed_same_scenario(self):
+        cfg = ScenarioConfig.quick(seed=5)
+        _, net1 = build_network(cfg)
+        _, net2 = build_network(cfg)
+        assert net1.members == net2.members
+        assert (net1.positions() == net2.positions()).all()
+
+    def test_different_protocols_share_scenario(self):
+        """The paper evaluates all protocols on identical scenarios."""
+        a = ScenarioConfig.quick(seed=5, protocol="ss-spst")
+        b = ScenarioConfig.quick(seed=5, protocol="odmrp")
+        _, net_a = build_network(a)
+        _, net_b = build_network(b)
+        assert net_a.members == net_b.members
+        assert (net_a.positions() == net_b.positions()).all()
+
+    def test_run_scenario_end_to_end(self):
+        cfg = ScenarioConfig.quick(sim_time=30.0, group_size=8, seed=2)
+        result = run_scenario(cfg)
+        assert isinstance(result, RunResult)
+        assert 0.0 <= result.summary.pdr <= 1.0
+        assert result.summary.total_energy_j > 0
+        assert result.events_executed > 1000
+        assert result.pdr == result.summary.pdr  # passthrough
+
+    def test_deterministic_given_seed(self):
+        cfg = ScenarioConfig.quick(sim_time=25.0, group_size=6, seed=4)
+        r1 = run_scenario(cfg)
+        r2 = run_scenario(cfg)
+        assert r1.summary.pdr == r2.summary.pdr
+        assert r1.summary.total_energy_j == pytest.approx(r2.summary.total_energy_j)
+
+
+class TestSweeps:
+    def test_sweep_runs_grid(self):
+        base = ScenarioConfig.quick(sim_time=20.0, group_size=6)
+        sweep = Sweep(
+            x_name="v_max",
+            x_values=[1.0, 10.0],
+            protocols=["flooding"],
+            y_name="pdr",
+            extract=lambda r: r.summary.pdr,
+            base=base,
+            seeds=(1,),
+        )
+        result = sweep.run()
+        assert result.x_values == [1.0, 10.0]
+        assert len(result.series["flooding"]) == 2
+
+    def test_sweep_cache_reuse(self):
+        base = ScenarioConfig.quick(sim_time=20.0, group_size=6)
+        cache = {}
+        kw = dict(
+            x_name="v_max", x_values=[1.0], protocols=["flooding"], base=base, seeds=(1,)
+        )
+        Sweep(y_name="pdr", extract=lambda r: r.summary.pdr, **kw).run(cache=cache)
+        assert len(cache) == 1
+        before = dict(cache)
+        Sweep(y_name="epp", extract=lambda r: r.summary.energy_per_packet_mj, **kw).run(
+            cache=cache
+        )
+        assert cache == before  # second sweep hit the cache entirely
+
+    def test_format_table(self):
+        result = SweepResult(
+            x_name="v", x_values=[1.0, 2.0], y_name="pdr",
+            series={"a": [0.9, 0.8], "b": [0.7, 0.6]},
+        )
+        table = result.format_table("demo")
+        assert "demo" in table
+        assert "0.9000" in table and "0.6000" in table
+
+
+class TestFigureRegistry:
+    def test_all_ten_figures_defined(self):
+        assert set(FIGURES) == {f"fig{n:02d}" for n in range(7, 17)}
+
+    def test_every_figure_has_checks(self):
+        for fig in FIGURES.values():
+            assert isinstance(fig, FigureDef)
+            assert fig.checks, fig.fig_id
+
+    def test_quick_and_full_grids_differ(self):
+        for fig in FIGURES.values():
+            assert len(fig.x_full) >= len(fig.x_quick)
+            assert fig.base_full.sim_time > fig.base_quick.sim_time
+
+    def test_family_figures_cover_variants(self):
+        for fid in ("fig07", "fig08", "fig09"):
+            assert set(FIGURES[fid].protocols) == {
+                "ss-spst", "ss-spst-t", "ss-spst-f", "ss-spst-e",
+            }
+
+    def test_comparison_figures_cover_baselines(self):
+        for fid in ("fig12", "fig13", "fig14", "fig15", "fig16"):
+            assert {"maodv", "odmrp"} <= set(FIGURES[fid].protocols)
+
+    def test_checks_evaluate_on_synthetic_result(self):
+        fig = FIGURES["fig09"]
+        synthetic = SweepResult(
+            x_name="v_max",
+            x_values=list(fig.x_quick),
+            y_name="energy_per_packet_mj",
+            series={
+                "ss-spst": [30.0, 29.0, 28.0, 27.0],
+                "ss-spst-t": [31.0, 32.0, 33.0, 36.0],
+                "ss-spst-f": [21.0, 22.0, 22.0, 22.0],
+                "ss-spst-e": [16.0, 20.0, 23.0, 25.0],
+            },
+        )
+        checks = fig.check(synthetic)
+        assert all(checks.values()), checks

@@ -1,0 +1,96 @@
+"""Tests for the BIP/MIP reference constructions and E_min search."""
+
+import numpy as np
+import pytest
+
+from repro.core.examples import EXAMPLE_RADIO, figure1_topology
+from repro.core.metrics import EnergyAwareMetric, TxEnergyMetric, metric_by_name
+from repro.graph import (
+    Topology,
+    bip_tree,
+    exhaustive_min_energy_tree,
+    local_search_min_energy_tree,
+    mip_tree,
+)
+
+
+@pytest.fixture
+def topo():
+    return figure1_topology()
+
+
+class TestBip:
+    def test_spans_connected_graph(self, topo):
+        tree = bip_tree(topo, EXAMPLE_RADIO)
+        assert tree.spans_all()
+
+    def test_respects_topology_edges(self, topo):
+        tree = bip_tree(topo, EXAMPLE_RADIO)
+        for p, v in tree.edges():
+            assert topo.has_edge(p, v)
+
+    def test_incremental_power_greedy(self):
+        """On a line, BIP must chain rather than stretch the root."""
+        edges = {(0, 1): 100.0, (1, 2): 100.0, (0, 2): 200.0}
+        topo = Topology.from_edges(3, edges, source=0, members=[2])
+        tree = bip_tree(topo, EXAMPLE_RADIO)
+        assert tree.parents[2] == 1  # relaying beats the long direct edge
+
+    def test_disconnected_graph_partial(self):
+        topo = Topology.from_edges(3, {(0, 1): 50.0}, source=0, members=[1])
+        tree = bip_tree(topo, EXAMPLE_RADIO)
+        assert tree.parents[1] == 0
+        assert tree.parents[2] is None
+
+
+class TestMip:
+    def test_prunes_memberless_branches(self):
+        edges = {(0, 1): 100.0, (1, 2): 80.0, (0, 3): 50.0, (3, 4): 120.0}
+        topo = Topology.from_edges(5, edges, source=0, members=[2])
+        tree = mip_tree(topo, EXAMPLE_RADIO)
+        # The 3-4 branch holds no member: dropped from the data tree.
+        assert tree.parents[3] is None or not tree.flags()[3]
+
+    def test_members_stay_connected(self, topo):
+        tree = mip_tree(topo, EXAMPLE_RADIO)
+        assert tree.spans_members()
+
+
+class TestEminSearch:
+    def test_exhaustive_beats_or_matches_everything(self):
+        """The exhaustive optimum is a lower bound for any other tree."""
+        edges = {
+            (0, 1): 100.0,
+            (1, 2): 80.0,
+            (0, 2): 150.0,
+            (2, 3): 90.0,
+            (1, 3): 140.0,
+        }
+        topo = Topology.from_edges(4, edges, source=0, members=[0, 3])
+        metric = metric_by_name("energy", EXAMPLE_RADIO)
+        _, best_cost = exhaustive_min_energy_tree(topo, metric)
+        ls_tree, ls_cost = local_search_min_energy_tree(topo, metric)
+        assert best_cost <= ls_cost + 1e-15
+
+    def test_exhaustive_on_figure1(self, topo):
+        metric = metric_by_name("energy", EXAMPLE_RADIO)
+        tree, cost = exhaustive_min_energy_tree(topo, metric)
+        assert tree.spans_all()
+        assert cost > 0
+
+    def test_local_search_improves_start(self, topo):
+        metric = metric_by_name("energy", EXAMPLE_RADIO)
+        from repro.graph.tree import TreeAssignment
+
+        # Start from the hop/BFS tree local_search builds by default.
+        tree, cost = local_search_min_energy_tree(topo, metric)
+        assert tree.spans_all()
+        # Must not be worse than the default start itself.
+        start, start_cost = local_search_min_energy_tree(topo, metric, max_iters=0)
+        assert cost <= start_cost + 1e-15
+
+    def test_rejects_disconnected(self):
+        topo = Topology.from_edges(3, {(0, 1): 10.0}, source=0, members=[1])
+        metric = metric_by_name("tx", EXAMPLE_RADIO)
+        with pytest.raises(ValueError):
+            exhaustive_min_energy_tree(topo, metric)

@@ -1,0 +1,94 @@
+"""Tests for repro.graph.topology."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Topology
+
+
+def line_topology(n=4, spacing=100.0):
+    """0 - 1 - 2 - ... in a line, edges between consecutive nodes only."""
+    edges = {(i, i + 1): spacing for i in range(n - 1)}
+    return Topology.from_edges(n, edges, source=0, members=range(n))
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        t = line_topology()
+        assert t.n == 4
+        assert t.has_edge(0, 1) and not t.has_edge(0, 2)
+        assert t.dist[1, 2] == 100.0
+
+    def test_from_positions(self):
+        pos = np.array([[0.0, 0.0], [100.0, 0.0], [350.0, 0.0]])
+        t = Topology.from_positions(pos, max_range=150.0, source=0, members=[2])
+        assert t.has_edge(0, 1)
+        assert not t.has_edge(0, 2)
+        assert not t.has_edge(1, 2)  # 250 m > 150 m
+
+    def test_source_always_member(self):
+        t = Topology.from_edges(3, {(0, 1): 1.0, (1, 2): 1.0}, source=0, members=[2])
+        assert 0 in t.members
+
+    def test_symmetry_required(self):
+        d = np.full((2, 2), np.inf)
+        np.fill_diagonal(d, 0.0)
+        d[0, 1] = 5.0  # asymmetric
+        with pytest.raises(ValueError):
+            Topology(d, 0, [])
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            Topology.from_edges(2, {(0, 1): -3.0}, source=0, members=[])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Topology.from_edges(2, {(0, 0): 1.0}, source=0, members=[])
+
+    def test_out_of_range_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Topology.from_edges(2, {(0, 1): 1.0}, source=5, members=[])
+        with pytest.raises(ValueError):
+            Topology.from_edges(2, {(0, 1): 1.0}, source=0, members=[9])
+
+
+class TestQueries:
+    def test_neighbors(self):
+        t = line_topology()
+        assert t.neighbors(0) == [1]
+        assert sorted(t.neighbors(1)) == [0, 2]
+        assert t.degree(1) == 2
+
+    def test_neighbors_within(self):
+        t = Topology.from_edges(
+            3, {(0, 1): 50.0, (0, 2): 120.0}, source=0, members=[]
+        )
+        assert t.neighbors_within(0, 60.0) == [1]
+        assert sorted(t.neighbors_within(0, 130.0)) == [1, 2]
+
+    def test_neighbor_distances(self):
+        t = line_topology()
+        assert t.neighbor_distances(0) == [(1, 100.0)]
+
+    def test_is_connected(self):
+        assert line_topology().is_connected()
+        t = Topology.from_edges(3, {(0, 1): 1.0}, source=0, members=[])
+        assert not t.is_connected()
+
+    def test_bfs_hops(self):
+        t = line_topology(5)
+        assert t.bfs_hops().tolist() == [0, 1, 2, 3, 4]
+
+    def test_bfs_hops_unreachable(self):
+        t = Topology.from_edges(3, {(0, 1): 1.0}, source=0, members=[])
+        hops = t.bfs_hops()
+        assert hops[2] == np.inf
+
+    def test_to_networkx(self):
+        g = line_topology().to_networkx()
+        assert g.number_of_edges() == 3
+        assert g[0][1]["weight"] == 100.0
+
+    def test_non_members(self):
+        t = Topology.from_edges(3, {(0, 1): 1.0, (1, 2): 1.0}, source=0, members=[1])
+        assert t.non_members == {2}

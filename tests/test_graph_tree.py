@@ -1,0 +1,112 @@
+"""Tests for repro.graph.tree."""
+
+import pytest
+
+from repro.graph import Topology, TreeAssignment
+
+
+@pytest.fixture
+def topo():
+    """A small tree-friendly topology.
+
+    0 -- 1 -- 2
+     \\-- 3 -- 4
+    with an extra 1-3 cross edge; members {0, 2, 4}.
+    """
+    edges = {
+        (0, 1): 100.0,
+        (1, 2): 80.0,
+        (0, 3): 50.0,
+        (3, 4): 120.0,
+        (1, 3): 60.0,
+    }
+    return Topology.from_edges(5, edges, source=0, members=[0, 2, 4])
+
+
+class TestValidation:
+    def test_valid_tree(self, topo):
+        t = TreeAssignment(topo, [None, 0, 1, 0, 3])
+        assert t.spans_all()
+
+    def test_parent_must_be_neighbor(self, topo):
+        with pytest.raises(ValueError):
+            TreeAssignment(topo, [None, 0, 0, 0, 3])  # 2 is not adjacent to 0
+
+    def test_cycle_detected(self, topo):
+        with pytest.raises(ValueError, match="cycle"):
+            TreeAssignment(topo, [None, 3, 1, 1, 3])  # 1 -> 3 -> 1
+
+    def test_source_cannot_have_parent(self, topo):
+        with pytest.raises(ValueError):
+            TreeAssignment(topo, [1, 0, 1, 0, 3])
+
+    def test_disconnected_nodes_allowed(self, topo):
+        t = TreeAssignment(topo, [None, 0, 1, None, None])
+        assert not t.spans_all()
+        assert t.connected_nodes() == {0, 1, 2}
+        assert not t.spans_members()  # member 4 disconnected
+
+
+class TestStructure:
+    def test_children(self, topo):
+        t = TreeAssignment(topo, [None, 0, 1, 0, 3])
+        ch = t.children()
+        assert ch[0] == [1, 3]
+        assert ch[1] == [2]
+        assert ch[4] == []
+
+    def test_edges(self, topo):
+        t = TreeAssignment(topo, [None, 0, 1, 0, 3])
+        assert sorted(t.edges()) == [(0, 1), (0, 3), (1, 2), (3, 4)]
+
+    def test_depth(self, topo):
+        t = TreeAssignment(topo, [None, 0, 1, 0, 3])
+        assert t.depth(0) == 0
+        assert t.depth(2) == 2
+        assert t.max_depth() == 2
+
+    def test_path_to_root(self, topo):
+        t = TreeAssignment(topo, [None, 0, 1, 0, 3])
+        assert t.path_to_root(2) == [2, 1, 0]
+
+
+class TestPruning:
+    def test_flags_bottom_up(self, topo):
+        t = TreeAssignment(topo, [None, 0, 1, 0, 3])
+        flags = t.flags()
+        # Members 0, 2, 4; relays 1, 3 have members downstream.
+        assert flags.tolist() == [True, True, True, True, True]
+
+    def test_flags_prune_dead_branch(self):
+        # member set excludes the 3-4 branch entirely
+        edges = {(0, 1): 100.0, (1, 2): 80.0, (0, 3): 50.0, (3, 4): 120.0}
+        topo = Topology.from_edges(5, edges, source=0, members=[0, 2])
+        t = TreeAssignment(topo, [None, 0, 1, 0, 3])
+        flags = t.flags()
+        assert flags.tolist() == [True, True, True, False, False]
+        assert t.forwarding_nodes() == {0, 1}
+
+    def test_flagged_children(self):
+        edges = {(0, 1): 100.0, (1, 2): 80.0, (0, 3): 50.0, (3, 4): 120.0}
+        topo = Topology.from_edges(5, edges, source=0, members=[0, 2])
+        t = TreeAssignment(topo, [None, 0, 1, 0, 3])
+        fc = t.flagged_children()
+        assert fc[0] == [1]  # 3 unflagged
+        assert fc[1] == [2]
+
+    def test_data_tx_radius(self):
+        edges = {(0, 1): 100.0, (1, 2): 80.0, (0, 3): 50.0, (3, 4): 120.0}
+        topo = Topology.from_edges(5, edges, source=0, members=[0, 2])
+        t = TreeAssignment(topo, [None, 0, 1, 0, 3])
+        assert t.data_tx_radius(0) == 100.0  # reaches flagged child 1 only
+        assert t.data_tx_radius(3) == 0.0  # pruned: silent
+        assert t.data_tx_radius(2) == 0.0  # leaf
+
+    def test_pruned_radius_smaller_than_full(self, topo):
+        """Pruning can only shrink transmission radii."""
+        t = TreeAssignment(topo, [None, 0, 1, 0, 3])
+        for v in range(topo.n):
+            full = max(
+                (topo.dist[v, c] for c in t.children()[v]), default=0.0
+            )
+            assert t.data_tx_radius(v) <= full + 1e-12

@@ -1,0 +1,133 @@
+"""Tests for the generator-process layer."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process, Signal, start_process
+
+
+class TestProcessTimeouts:
+    def test_sleep_sequence(self, sim):
+        log = []
+
+        def proc():
+            log.append(sim.now)
+            yield 1.0
+            log.append(sim.now)
+            yield 2.5
+            log.append(sim.now)
+
+        start_process(sim, proc())
+        sim.run()
+        assert log == [0.0, 1.0, 3.5]
+
+    def test_start_delay(self, sim):
+        log = []
+
+        def proc():
+            log.append(sim.now)
+            yield 1.0
+            log.append(sim.now)
+
+        start_process(sim, proc(), delay=5.0)
+        sim.run()
+        assert log == [5.0, 6.0]
+
+    def test_process_completes(self, sim):
+        def proc():
+            yield 1.0
+
+        p = start_process(sim, proc())
+        assert p.alive
+        sim.run()
+        assert not p.alive
+
+    def test_stop_cancels_wakeup(self, sim):
+        log = []
+
+        def proc():
+            yield 1.0
+            log.append("should not run")
+
+        p = start_process(sim, proc())
+        p.stop()
+        sim.run()
+        assert log == []
+        assert not p.alive
+
+
+class TestSignals:
+    def test_fire_wakes_waiter_with_value(self, sim):
+        sig = Signal(sim)
+        got = []
+
+        def waiter():
+            value = yield sig
+            got.append((sim.now, value))
+
+        start_process(sim, waiter())
+        sim.schedule(3.0, sig.fire, "hello")
+        sim.run()
+        assert got == [(3.0, "hello")]
+
+    def test_fire_wakes_all_waiters(self, sim):
+        sig = Signal(sim)
+        got = []
+
+        def waiter(name):
+            value = yield sig
+            got.append((name, value))
+
+        start_process(sim, waiter("a"))
+        start_process(sim, waiter("b"))
+        sim.schedule(1.0, sig.fire, 42)
+        sim.run()
+        assert sorted(got) == [("a", 42), ("b", 42)]
+
+    def test_signal_reusable(self, sim):
+        sig = Signal(sim)
+        got = []
+
+        def waiter():
+            while True:
+                v = yield sig
+                got.append(v)
+                if v == "stop":
+                    return
+
+        start_process(sim, waiter())
+        sim.schedule(1.0, sig.fire, "one")
+        sim.schedule(2.0, sig.fire, "stop")
+        sim.run()
+        assert got == ["one", "stop"]
+
+    def test_waiting_count(self, sim):
+        sig = Signal(sim)
+
+        def waiter():
+            yield sig
+
+        start_process(sim, waiter())
+        sim.run(until=0.5)
+        assert sig.waiting == 1
+        sig.fire()
+        sim.run()
+        assert sig.waiting == 0
+
+
+class TestErrors:
+    def test_negative_yield_kills_process(self, sim):
+        def proc():
+            yield -1.0
+
+        start_process(sim, proc())
+        with pytest.raises(Exception):
+            sim.run()
+
+    def test_bad_yield_type(self, sim):
+        def proc():
+            yield "nonsense"
+
+        start_process(sim, proc())
+        with pytest.raises(Exception):
+            sim.run()

@@ -1,0 +1,127 @@
+"""Tests for the CI statistics helpers and the lifetime extension."""
+
+import pytest
+
+from repro.analysis.stats import CiSummary, dominates, mean_ci, sweep_cis
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.lifetime import compare_lifetimes, run_lifetime
+from repro.experiments.sweeps import SweepResult
+
+
+class TestMeanCi:
+    def test_basic(self):
+        ci = mean_ci([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.n == 3
+        assert ci.half_width > 0
+        assert ci.low < 2.0 < ci.high
+
+    def test_single_sample_infinite_width(self):
+        ci = mean_ci([5.0])
+        assert ci.mean == 5.0
+        assert ci.half_width == float("inf")
+
+    def test_empty_is_nan(self):
+        ci = mean_ci([])
+        assert ci.n == 0
+        assert ci.mean != ci.mean  # NaN
+
+    def test_filters_non_finite(self):
+        ci = mean_ci([1.0, float("inf"), float("nan"), 3.0])
+        assert ci.n == 2
+        assert ci.mean == pytest.approx(2.0)
+
+    def test_overlap(self):
+        a = CiSummary(1.0, 0.5, 3)
+        b = CiSummary(1.8, 0.5, 3)
+        c = CiSummary(3.0, 0.5, 3)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class _FakeRun:
+    def __init__(self, value):
+        self.value = value
+
+
+class TestSweepCis:
+    def _result(self):
+        return SweepResult(
+            x_name="x",
+            x_values=[1.0],
+            y_name="y",
+            series={"a": [1.0], "b": [10.0]},
+            raw={
+                ("a", 1.0): [_FakeRun(1.0), _FakeRun(1.2), _FakeRun(0.8)],
+                ("b", 1.0): [_FakeRun(10.0), _FakeRun(9.5), _FakeRun(10.5)],
+            },
+        )
+
+    def test_sweep_cis(self):
+        cis = sweep_cis(self._result(), lambda r: r.value)
+        assert cis[("a", 1.0)].mean == pytest.approx(1.0)
+        assert cis[("b", 1.0)].mean == pytest.approx(10.0)
+
+    def test_dominates_lower(self):
+        verdicts = dominates(
+            self._result(), lambda r: r.value, better="a", worse="b", direction="lower"
+        )
+        assert verdicts == [True]
+
+    def test_dominates_higher(self):
+        verdicts = dominates(
+            self._result(), lambda r: r.value, better="b", worse="a", direction="higher"
+        )
+        assert verdicts == [True]
+
+
+class TestLifetime:
+    CFG = dict(
+        sim_time=40.0, group_size=6, n_nodes=20, rate_kbps=16.0,
+        traffic_start=6.0, arena_w=500.0, arena_h=500.0,
+    )
+
+    def test_generous_battery_no_deaths(self):
+        cfg = ScenarioConfig.quick(protocol="ss-spst", seed=3, **self.CFG)
+        res = run_lifetime(cfg, battery_j=1e6)
+        assert res.alive_at_end
+        assert res.first_death_t is None
+
+    def test_tiny_battery_kills_relays(self):
+        cfg = ScenarioConfig.quick(protocol="ss-spst", seed=3, **self.CFG)
+        res = run_lifetime(cfg, battery_j=0.2)
+        assert not res.alive_at_end
+        assert res.first_death_t is not None
+        assert res.first_death_t > cfg.traffic_start  # deaths need traffic
+
+    def test_deaths_sorted(self):
+        cfg = ScenarioConfig.quick(protocol="flooding", seed=3, **self.CFG)
+        res = run_lifetime(cfg, battery_j=0.15)
+        assert res.deaths == sorted(res.deaths)
+
+    def test_invalid_battery(self):
+        cfg = ScenarioConfig.quick(protocol="ss-spst", seed=3, **self.CFG)
+        with pytest.raises(ValueError):
+            run_lifetime(cfg, battery_j=0.0)
+
+    def test_compare_returns_per_protocol(self):
+        base = ScenarioConfig.quick(seed=3, **self.CFG)
+        out = compare_lifetimes(
+            ["ss-spst", "flooding"], battery_j=0.5, base=base, seeds=(3,)
+        )
+        assert set(out) == {"ss-spst", "flooding"}
+        assert all(len(v) == 1 for v in out.values())
+
+    def test_energy_awareness_extends_lifetime(self):
+        """The motivation come full circle: with equal batteries, the
+        energy-heavy protocol (flooding) loses its first node no later
+        than the power-controlled tree protocol."""
+        base = ScenarioConfig.quick(seed=4, **self.CFG)
+        out = compare_lifetimes(
+            ["ss-spst-e", "flooding"], battery_j=0.6, base=base, seeds=(4,)
+        )
+        ss = out["ss-spst-e"][0]
+        fl = out["flooding"][0]
+        t_ss = ss.first_death_t if ss.first_death_t is not None else float("inf")
+        t_fl = fl.first_death_t if fl.first_death_t is not None else float("inf")
+        assert t_ss >= t_fl

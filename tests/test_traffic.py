@@ -1,0 +1,86 @@
+"""Tests for the CBR traffic source."""
+
+import numpy as np
+import pytest
+
+from repro.energy import FirstOrderRadioModel
+from repro.metrics.hub import MetricsHub
+from repro.mobility import StaticPlacement
+from repro.net import MacConfig, Network
+from repro.protocols.registry import make_agent_factory
+from repro.sim import Simulator
+from repro.traffic import CbrSource
+from repro.util.geometry import Arena
+from repro.util.rng import RngStreams
+
+
+def build():
+    sim = Simulator()
+    streams = RngStreams(3)
+    mob = StaticPlacement(
+        3, Arena(1000, 1000), positions=np.array([[0.0, 0.0], [200.0, 0.0], [400.0, 0.0]])
+    )
+    net = Network(sim, mob, FirstOrderRadioModel(e_elec=1e-6), streams, mac_config=MacConfig())
+    net.set_group(source=0, members=[2])
+    net.hub = MetricsHub(n_receivers=1)
+    net.attach_agents(make_agent_factory("flooding"))
+    net.start()
+    return sim, net
+
+
+class TestCbrSource:
+    def test_rate_64kbps_512B_interval(self):
+        sim, net = build()
+        src = CbrSource(net, rate_kbps=64.0, packet_bytes=512)
+        assert src.interval == pytest.approx(512 * 8 / 64_000.0)  # 64 ms
+
+    def test_packet_count_matches_rate(self):
+        sim, net = build()
+        src = CbrSource(net, rate_kbps=64.0, packet_bytes=512, start_time=0.0)
+        src.start()
+        sim.run(until=1.0)
+        # 64 kbps / 4096 bits = 15.625 packets/s.
+        assert 14 <= src.packets_sent <= 16
+
+    def test_start_time_respected(self):
+        sim, net = build()
+        src = CbrSource(net, rate_kbps=64.0, start_time=5.0)
+        src.start()
+        sim.run(until=4.9)
+        assert src.packets_sent == 0
+        sim.run(until=6.0)
+        assert src.packets_sent > 0
+
+    def test_stop(self):
+        sim, net = build()
+        src = CbrSource(net, rate_kbps=64.0, start_time=0.0)
+        src.start()
+        sim.run(until=0.5)
+        count = src.packets_sent
+        src.stop()
+        sim.run(until=2.0)
+        assert src.packets_sent == count
+
+    def test_originations_reach_hub(self):
+        sim, net = build()
+        src = CbrSource(net, rate_kbps=64.0, start_time=0.0)
+        src.start()
+        sim.run(until=1.0)
+        assert net.hub.data_originated == src.packets_sent
+
+    def test_dead_source_stops_emitting(self):
+        sim, net = build()
+        src = CbrSource(net, rate_kbps=64.0, start_time=0.0)
+        src.start()
+        sim.run(until=0.5)
+        net.nodes[0].alive = False
+        before = net.hub.data_originated
+        sim.run(until=1.5)
+        assert net.hub.data_originated == before
+
+    def test_invalid_params(self):
+        sim, net = build()
+        with pytest.raises(ValueError):
+            CbrSource(net, rate_kbps=0.0)
+        with pytest.raises(ValueError):
+            CbrSource(net, rate_kbps=64.0, packet_bytes=0)

@@ -1,0 +1,34 @@
+"""Tests for repro.util.ids."""
+
+import pytest
+
+from repro.util.ids import IdAllocator
+
+
+class TestIdAllocator:
+    def test_dense_from_zero(self):
+        alloc = IdAllocator()
+        assert [alloc.next() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_count(self):
+        alloc = IdAllocator()
+        assert alloc.count == 0
+        alloc.next()
+        alloc.next()
+        assert alloc.count == 2
+
+    def test_custom_start(self):
+        alloc = IdAllocator(start=10)
+        assert alloc.next() == 10
+        assert alloc.count == 1
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            IdAllocator(start=-1)
+
+    def test_reset(self):
+        alloc = IdAllocator()
+        alloc.next()
+        alloc.reset()
+        assert alloc.next() == 0
+        assert alloc.count == 1

@@ -1,0 +1,46 @@
+"""Tests for repro.util.rng."""
+
+from repro.util.rng import RngStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "mobility") == derive_seed(42, "mobility")
+
+    def test_distinct_labels(self):
+        assert derive_seed(42, "mobility") != derive_seed(42, "traffic")
+
+    def test_distinct_roots(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_64_bit_range(self):
+        s = derive_seed(7, "anything")
+        assert 0 <= s < 2**64
+
+
+class TestRngStreams:
+    def test_same_name_same_generator(self):
+        streams = RngStreams(1)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_independent(self):
+        streams = RngStreams(1)
+        a = streams.get("a").random(4).tolist()
+        b = streams.get("b").random(4).tolist()
+        assert a != b
+
+    def test_reproducible_across_instances(self):
+        x = RngStreams(99).get("m").random(8)
+        y = RngStreams(99).get("m").random(8)
+        assert x.tolist() == y.tolist()
+
+    def test_spawn_changes_family(self):
+        parent = RngStreams(5)
+        child = parent.spawn("node0")
+        assert child.root_seed != parent.root_seed
+        assert child.get("x").random() != parent.get("x").random()
+
+    def test_spawn_deterministic(self):
+        a = RngStreams(5).spawn("n").get("s").random(3)
+        b = RngStreams(5).spawn("n").get("s").random(3)
+        assert a.tolist() == b.tolist()

@@ -1,0 +1,25 @@
+"""Tests for repro.util.units."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_bytes_bits_roundtrip():
+    assert units.bytes_to_bits(512) == 4096
+    assert units.bits_to_bytes(4096) == 512
+    assert units.bits_to_bytes(units.bytes_to_bits(123.5)) == pytest.approx(123.5)
+
+
+def test_joules_mj_roundtrip():
+    assert units.joules_to_mj(0.005) == pytest.approx(5.0)
+    assert units.mj_to_joules(5.0) == pytest.approx(0.005)
+
+
+def test_kbps():
+    assert units.kbps_to_bps(64) == 64_000.0
+
+
+def test_time_constants():
+    assert units.MS == pytest.approx(1e-3)
+    assert units.US == pytest.approx(1e-6)
