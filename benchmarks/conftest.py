@@ -1,11 +1,13 @@
 """Shared machinery for the figure benches.
 
-``figure_bench`` runs one figure's quick-scale sweep (cached across
-figures: e.g. Figures 7/8/9 extract different metrics from the *same*
-simulations), prints the numeric series and an ASCII rendering, and
-asserts the figure's shape checks.
+``figure_bench`` runs one figure's quick-scale sweep through the campaign
+engine (cached across figures: e.g. Figures 7/8/9 extract different
+metrics from the *same* simulations), prints the numeric series and an
+ASCII rendering, and asserts the figure's shape checks.
 
-Set ``REPRO_BENCH_SEEDS`` / ``REPRO_BENCH_FULL=1`` to rescale.
+Set ``REPRO_BENCH_SEEDS`` / ``REPRO_BENCH_FULL=1`` to rescale,
+``REPRO_BENCH_WORKERS=N`` to run each figure's grid on a process pool,
+and ``REPRO_BENCH_CACHE_DIR=path`` to persist runs across bench sessions.
 """
 
 from __future__ import annotations
@@ -31,6 +33,14 @@ def _full_scale() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
 
+def _workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+def _cache_dir():
+    return os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+
+
 @pytest.fixture(scope="session")
 def run_cache() -> Dict:
     return _RUN_CACHE
@@ -43,7 +53,13 @@ def figure_bench(benchmark, fig_id: str, run_cache: Dict) -> None:
     seeds = _seeds()
 
     def _run():
-        return fig.run(quick=quick, seeds=seeds, cache=run_cache)
+        return fig.run(
+            quick=quick,
+            seeds=seeds,
+            cache=run_cache,
+            workers=_workers(),
+            cache_dir=_cache_dir(),
+        )
 
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
     checks = fig.check(result)

@@ -9,7 +9,13 @@ Usage::
 
     python examples/energy_sweep.py fig09            # quick scale
     python examples/energy_sweep.py fig16 --full     # paper scale (slow!)
+    python examples/energy_sweep.py fig09 --workers 4 --cache-dir .campaign-cache
     python examples/energy_sweep.py --list
+
+``--workers N`` fans the figure's grid out over a process pool and
+``--cache-dir`` persists every run, so re-rendering a figure (or another
+figure over the same scenarios) costs nothing — both are provided by the
+campaign engine (``repro.experiments.campaign``).
 """
 
 import sys
@@ -18,22 +24,34 @@ from repro.analysis import ascii_plot, shape_report
 from repro.experiments.figures import FIGURES
 
 
+def _flag_value(args, name, default):
+    if name not in args:
+        return default
+    i = args.index(name)
+    if i + 1 >= len(args) or args[i + 1].startswith("--"):
+        raise SystemExit(f"{name} requires a value")
+    return args[i + 1]
+
+
 def main() -> None:
     args = [a for a in sys.argv[1:]]
     if "--list" in args or not args:
         for fid, fig in sorted(FIGURES.items()):
             print(f"{fid}: {fig.title}")
         if not args:
-            print("\nusage: energy_sweep.py <fig_id> [--full]")
+            print("\nusage: energy_sweep.py <fig_id> [--full] "
+                  "[--workers N] [--cache-dir DIR]")
         return
 
     fig_id = args[0]
     if fig_id not in FIGURES:
         raise SystemExit(f"unknown figure {fig_id!r}; try --list")
     quick = "--full" not in args
+    workers = int(_flag_value(args, "--workers", "1"))
+    cache_dir = _flag_value(args, "--cache-dir", None)
     fig = FIGURES[fig_id]
     print(f"{fig.title} — {'quick' if quick else 'paper'} scale")
-    result = fig.run(quick=quick)
+    result = fig.run(quick=quick, workers=workers, cache_dir=cache_dir)
     print()
     print(result.format_table(fig.fig_id))
     print(ascii_plot(result.x_values, result.series, y_label=fig.y_name, x_label=fig.x_name))

@@ -36,6 +36,8 @@ from repro.core.rounds import (
     SyncExecutor,
     CentralDaemonExecutor,
     RandomizedDaemonExecutor,
+    IncrementalSyncExecutor,
+    IncrementalCentralDaemonExecutor,
     StabilizationResult,
     fresh_states,
     arbitrary_states,
@@ -68,6 +70,8 @@ __all__ = [
     "SyncExecutor",
     "CentralDaemonExecutor",
     "RandomizedDaemonExecutor",
+    "IncrementalSyncExecutor",
+    "IncrementalCentralDaemonExecutor",
     "StabilizationResult",
     "fresh_states",
     "arbitrary_states",

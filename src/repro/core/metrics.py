@@ -63,6 +63,17 @@ class CostMetric(abc.ABC):
     #: (SS-SPST-E "sends additional information in its beacon packet")
     beacon_extra_bytes_per_neighbor: int = 0
     beacon_extra_bytes_fixed: int = 0
+    #: how far (in graph hops) one node's state change can reach into
+    #: *other* nodes' next update, used by the incremental (dirty-set)
+    #: executors to decide who must be re-evaluated.  1 = a node's update
+    #: reads only its neighbors' advertised states (hop, tx); metrics
+    #: whose join cost also reads neighbors' children sets extend the
+    #: reach by one hop around the endpoints of a moved parent pointer
+    #: (farthest keeps radius 1 because the executors seed the closure
+    #: with both parent endpoints).  ``None`` = globally coupled: member
+    #: flags and chain re-pricing make any change reach arbitrarily far
+    #: (SS-SPST-E), so every node stays dirty while the system moves.
+    dependency_radius: Optional[int] = 1
 
     def __init__(self, radio: RadioModel) -> None:
         self.radio = radio
@@ -175,6 +186,9 @@ class EnergyAwareMetric(FarthestChildMetric):
     """
 
     name = "energy"
+    # Member flags and chain re-pricing couple every node's update to the
+    # whole tree: no local dirty set is sound (see CostMetric docstring).
+    dependency_radius = None
     # E beacons additionally carry the sender's neighbor-distance list so
     # joiners can evaluate the discard term; distances are quantized to one
     # byte each (range/255 buckets) — full floats would make the beacon

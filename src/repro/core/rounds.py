@@ -15,6 +15,17 @@ its neighbors and performs computation based on its received information"
 
 Both track the per-round total cost (the Lyapunov quantity of Lemma 1) and
 stop at a fixpoint.
+
+The incremental variants — :class:`IncrementalSyncExecutor` and
+:class:`IncrementalCentralDaemonExecutor` — compute *bit-identical*
+trajectories (states, rounds, cost history, moves) while only
+re-evaluating a **dirty set**: the nodes whose dependency region changed
+since they were last evaluated.  The region is derived from the metric's
+``dependency_radius`` (see :class:`~repro.core.metrics.CostMetric`); for
+the globally-coupled SS-SPST-E metric every node stays dirty while the
+system moves, so the incremental executors degenerate gracefully to the
+baseline behaviour (still benefiting from the in-place
+:meth:`~repro.core.views.GlobalView.apply` view maintenance).
 """
 
 from __future__ import annotations
@@ -158,18 +169,22 @@ class SyncExecutor(_ExecutorBase):
 
 
 class CentralDaemonExecutor(_ExecutorBase):
-    """Nodes move one at a time (id order), seeing the freshest states."""
+    """Nodes move one at a time (id order), seeing the freshest states.
+
+    One :class:`GlobalView` is maintained per round and moves are applied
+    to it in place — previously a full view (children + flags) was
+    re-derived for every node, O(n²) work per round.
+    """
 
     def _round(self, states: StateVector):
-        states = list(states)
+        view = GlobalView(self.topo, states)
         moves = 0
         for v in range(self.topo.n):
-            view = GlobalView(self.topo, states)
             ns = compute_update(self.topo, self.metric, view, v)
-            if not ns.approx_equals(states[v], tol=COST_TOL):
-                states[v] = ns
+            if not ns.approx_equals(view.states[v], tol=COST_TOL):
+                view.apply(v, ns)
                 moves += 1
-        return states, moves > 0, moves
+        return view.states, moves > 0, moves
 
 
 class RandomizedDaemonExecutor(_ExecutorBase):
@@ -188,13 +203,151 @@ class RandomizedDaemonExecutor(_ExecutorBase):
         self.rng = rng
 
     def _round(self, states: StateVector):
-        states = list(states)
+        view = GlobalView(self.topo, states)
         moves = 0
         for v in self.rng.permutation(self.topo.n):
             v = int(v)
-            view = GlobalView(self.topo, states)
             ns = compute_update(self.topo, self.metric, view, v)
-            if not ns.approx_equals(states[v], tol=COST_TOL):
-                states[v] = ns
+            if not ns.approx_equals(view.states[v], tol=COST_TOL):
+                view.apply(v, ns)
                 moves += 1
-        return states, moves > 0, moves
+        return view.states, moves > 0, moves
+
+
+class _IncrementalBase(_ExecutorBase):
+    """Shared dirty-set machinery and run loop for the incremental
+    executors.  Subclasses implement :meth:`_round_incremental`, which
+    plays one round over the current dirty set and returns
+    ``(n_moves, next_dirty)``; everything else — history, round/move
+    accounting, convergence — matches :meth:`_ExecutorBase.run` so the
+    trajectories stay bit-identical to the baselines."""
+
+    def run(
+        self,
+        states: StateVector,
+        max_rounds: Optional[int] = None,
+    ) -> StabilizationResult:
+        if max_rounds is None:
+            max_rounds = 4 * self.topo.n + 16
+        cap = self.metric.infinity(self.topo)
+        view = GlobalView(self.topo, states)
+        states = view.states  # the view owns the working copy
+        history = [total_cost(states, cap)]
+        dirty = set(range(self.topo.n))
+        moves = 0
+        rounds = 0
+        converged = False
+        for _ in range(max_rounds):
+            n_moves, dirty = self._round_incremental(view, dirty)
+            history.append(total_cost(states, cap))
+            if n_moves == 0:
+                converged = True
+                break
+            rounds += 1
+            moves += n_moves
+        return StabilizationResult(
+            states=states,
+            rounds=rounds,
+            converged=converged,
+            cost_history=history,
+            moves=moves,
+        )
+
+    def _round_incremental(self, view: GlobalView, dirty: set):
+        raise NotImplementedError
+
+    def _affected(self, changes) -> set:
+        """Nodes whose next update may differ after the given changes.
+
+        ``changes`` is an iterable of ``(v, old_state, new_state)``.  The
+        seed set is the changed nodes plus the endpoints of any moved
+        parent pointer (their children lists — and hence their advertised
+        radii — changed too); the closure then extends the metric's
+        ``dependency_radius`` hops around the seeds.  A ``None`` radius
+        means the metric couples updates globally: everyone is affected.
+        """
+        radius = self.metric.dependency_radius
+        if radius is None:
+            return set(range(self.topo.n))
+        seeds = set()
+        for v, old, new in changes:
+            seeds.add(v)
+            if old.parent != new.parent:
+                if old.parent is not None:
+                    seeds.add(old.parent)
+                if new.parent is not None:
+                    seeds.add(new.parent)
+        out = set(seeds)
+        frontier = seeds
+        for _ in range(radius):
+            nxt = set()
+            for v in frontier:
+                nxt.update(self.topo.neighbors(v))
+            nxt -= out
+            if not nxt:
+                break
+            out |= nxt
+            frontier = nxt
+        return out
+
+
+class IncrementalSyncExecutor(_IncrementalBase):
+    """Dirty-set variant of :class:`SyncExecutor`.
+
+    Produces a bit-identical trajectory (states, rounds, cost history,
+    moves) while only re-evaluating nodes whose dependency region changed
+    in the previous round.  Soundness: a node outside the region of every
+    change recomputes exactly the state it already holds, so skipping it
+    cannot alter the round's outcome.  To mirror ``SyncExecutor``'s
+    overwrite semantics exactly, a re-evaluated node's state is replaced
+    even when the change is within the move tolerance; such silent
+    rewrites propagate through the dirty set but do not count as moves.
+    """
+
+    def _round_incremental(self, view: GlobalView, dirty: set):
+        # Snapshot semantics: compute every dirty node's update from the
+        # pre-round view, then apply them all at once.
+        states = view.states
+        changes = []
+        n_moves = 0
+        for v in sorted(dirty):
+            old = states[v]
+            ns = compute_update(self.topo, self.metric, view, v)
+            if ns != old:
+                changes.append((v, old, ns))
+            if not ns.approx_equals(old, tol=COST_TOL):
+                n_moves += 1
+        for v, _old, ns in changes:
+            view.apply(v, ns)
+        return n_moves, self._affected(changes)
+
+
+class IncrementalCentralDaemonExecutor(_IncrementalBase):
+    """Dirty-set variant of :class:`CentralDaemonExecutor`.
+
+    Nodes still activate in id order seeing the freshest states, but a
+    node is evaluated only while it is dirty.  When an activation changes
+    state, the affected nodes with higher ids are re-marked for the rest
+    of this round (they would have seen the fresh state anyway) and the
+    rest for the next round — exactly reproducing the baseline's
+    trajectory, since the central daemon only writes genuine moves.
+    """
+
+    def _round_incremental(self, view: GlobalView, dirty: set):
+        states = view.states
+        next_dirty: set = set()
+        n_moves = 0
+        for v in range(self.topo.n):
+            if v not in dirty:
+                continue
+            old = states[v]
+            ns = compute_update(self.topo, self.metric, view, v)
+            if not ns.approx_equals(old, tol=COST_TOL):
+                view.apply(v, ns)
+                n_moves += 1
+                for w in self._affected([(v, old, ns)]):
+                    if w > v:
+                        dirty.add(w)
+                    else:
+                        next_dirty.add(w)
+        return n_moves, next_dirty

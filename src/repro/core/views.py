@@ -20,6 +20,7 @@ same view from received beacon payloads (:mod:`repro.protocols.ss_spst`).
 from __future__ import annotations
 
 import abc
+from bisect import insort
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.state import NodeState, derive_children, derive_flags
@@ -91,14 +92,50 @@ class NodeView(abc.ABC):
 
 
 class GlobalView(NodeView):
-    """Round-model view: global topology + a state vector snapshot."""
+    """Round-model view: global topology + a state vector snapshot.
+
+    The view is *updatable*: :meth:`apply` replaces one node's state in
+    place and incrementally maintains the derived structures (children
+    lists; member flags are invalidated and lazily re-derived only when a
+    parent pointer actually moved).  Executors that serialize updates —
+    the central-daemon family — keep one view per round and apply moves
+    to it instead of re-deriving children and flags from scratch for
+    every node, which removes the O(n²)-per-round view reconstruction
+    that used to dominate large-topology runs.
+    """
 
     def __init__(self, topo: Topology, states: Sequence[NodeState]) -> None:
         self.topo = topo
         self.states = list(states)
         self._children = derive_children(self.states)
-        self._flags = derive_flags(topo, self.states)
+        self._flags_cache: Optional[List[bool]] = None
         self._flags_excl: Dict[NodeId, List[bool]] = {}
+
+    @property
+    def _flags(self) -> List[bool]:
+        """Member flags, derived lazily (metrics that never read flags —
+        hop, tx — never pay for them)."""
+        if self._flags_cache is None:
+            self._flags_cache = derive_flags(self.topo, self.states)
+        return self._flags_cache
+
+    def apply(self, v: NodeId, new_state: NodeState) -> None:
+        """Replace ``v``'s state, updating derived structures in place.
+
+        Children lists are patched incrementally (kept sorted, matching
+        :func:`~repro.core.state.derive_children` output exactly); flags
+        and the detached-flag cache depend only on parent pointers and
+        membership, so they are invalidated only when the parent moved.
+        """
+        old = self.states[v]
+        self.states[v] = new_state
+        if old.parent != new_state.parent:
+            if old.parent is not None:
+                self._children[old.parent].remove(v)
+            if new_state.parent is not None:
+                insort(self._children[new_state.parent], v)
+            self._flags_cache = None
+            self._flags_excl.clear()
 
     # ------------------------------------------------------------------
     def neighbors_of(self, v: NodeId) -> List[NodeId]:

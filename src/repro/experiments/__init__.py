@@ -22,6 +22,25 @@ from repro.experiments.runner import run_scenario, RunResult
 from repro.experiments.sweeps import Sweep, SweepResult, run_sweep
 from repro.experiments.lifetime import LifetimeResult, compare_lifetimes, run_lifetime
 
+#: campaign exports resolved lazily (PEP 562) so that running the CLI as
+#: ``python -m repro.experiments.campaign`` does not import the module
+#: twice (once via this package, once as ``__main__``).
+_CAMPAIGN_EXPORTS = (
+    "CampaignSpec",
+    "CampaignResult",
+    "ResultCache",
+    "config_key",
+    "run_campaign",
+)
+
+
+def __getattr__(name):
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.experiments import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "ScenarioConfig",
     "run_scenario",
@@ -29,6 +48,11 @@ __all__ = [
     "Sweep",
     "SweepResult",
     "run_sweep",
+    "CampaignSpec",
+    "CampaignResult",
+    "ResultCache",
+    "config_key",
+    "run_campaign",
     "LifetimeResult",
     "compare_lifetimes",
     "run_lifetime",

@@ -1,0 +1,556 @@
+"""Parallel experiment campaigns.
+
+The paper's evaluation (section 6) is a grid of scenarios — protocols ×
+parameter values × seed replications.  A :class:`CampaignSpec` declares
+such a grid once; :func:`run_campaign` executes it on a
+``multiprocessing`` worker pool with a per-run JSON result cache keyed by
+a stable hash of the full :class:`~repro.experiments.config.ScenarioConfig`.
+Re-running a campaign (or a different campaign sharing cells — e.g. the
+Figure 7/8/9 sweeps, which extract different metrics from the *same*
+simulations) only executes the missing runs, and an interrupted campaign
+resumes from whatever the cache already holds.
+
+Aggregation groups the per-seed replications into mean ± Student-t
+confidence intervals via :func:`repro.analysis.stats.mean_ci`.
+
+Command line::
+
+    PYTHONPATH=src python -m repro.experiments.campaign \
+        --protocols ss-spst,ss-spst-e --grid v_max=1,5,10 \
+        --seeds 1,2,3 --workers 4 --cache-dir .campaign-cache
+
+    PYTHONPATH=src python -m repro.experiments.campaign --figure fig09 \
+        --workers 4 --cache-dir .campaign-cache
+
+Cache layout: one ``<hash>.json`` file per run under ``--cache-dir``,
+holding the schema version, the exact config, the
+:class:`~repro.metrics.hub.RunSummary` fields and the runner diagnostics.
+Files are written atomically (tmp + rename) so a killed campaign never
+leaves a truncated record behind.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import itertools
+import json
+import multiprocessing
+import os
+import sys
+import time
+import typing
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import RunResult, run_scenario
+from repro.metrics.hub import RunSummary
+
+#: bump when the record layout (or anything that invalidates cached
+#: results, e.g. simulator semantics) changes; mismatched files are
+#: treated as cache misses, never errors.
+CACHE_SCHEMA = 1
+
+#: RunResult diagnostics persisted alongside the summary
+_DIAGNOSTIC_FIELDS = (
+    "parent_changes",
+    "events_executed",
+    "frames_sent",
+    "frames_collided",
+)
+
+
+# ----------------------------------------------------------------------
+# Config identity
+# ----------------------------------------------------------------------
+def config_key(config: ScenarioConfig) -> str:
+    """Stable content hash of a scenario config.
+
+    Canonical JSON (sorted keys, exact float repr) of every dataclass
+    field, prefixed with the cache schema version.  Two configs collide
+    iff they are field-for-field identical, so the hash is a safe cache
+    key across processes and sessions.
+    """
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, separators=(",", ":")
+    )
+    digest = hashlib.sha256(
+        f"v{CACHE_SCHEMA}:{payload}".encode("utf-8")
+    ).hexdigest()
+    return digest[:24]
+
+
+# ----------------------------------------------------------------------
+# Persistent per-run records
+# ----------------------------------------------------------------------
+def record_from_result(result: RunResult, elapsed_s: float = 0.0) -> dict:
+    """JSON-safe record of one finished run."""
+    return {
+        "schema": CACHE_SCHEMA,
+        "config": dataclasses.asdict(result.config),
+        "summary": result.summary.as_dict(),
+        "diagnostics": {f: getattr(result, f) for f in _DIAGNOSTIC_FIELDS},
+        "elapsed_s": elapsed_s,
+    }
+
+
+def result_from_record(record: dict) -> RunResult:
+    """Rebuild the :class:`RunResult` a record was made from."""
+    return RunResult(
+        summary=RunSummary(**record["summary"]),
+        config=ScenarioConfig(**record["config"]),
+        **record["diagnostics"],
+    )
+
+
+class ResultCache:
+    """Directory of ``<config_key>.json`` run records."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def path(self, config: ScenarioConfig) -> str:
+        return os.path.join(self.root, f"{config_key(config)}.json")
+
+    def load(self, config: ScenarioConfig) -> Optional[dict]:
+        """The cached record for ``config``, or None.
+
+        Unreadable/stale files are misses: the run is simply redone (and
+        the file rewritten), so a corrupt cache can never fail a campaign.
+        """
+        try:
+            with open(self.path(config), "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if record.get("schema") != CACHE_SCHEMA:
+            return None
+        if record.get("config") != dataclasses.asdict(config):
+            return None  # hash collision or hand-edited file
+        return record
+
+    def store(self, config: ScenarioConfig, record: dict) -> str:
+        """Atomically persist a record (resumable after interruption)."""
+        path = self.path(config)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+
+# ----------------------------------------------------------------------
+# Campaign spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative protocol/parameter grid with seed replications.
+
+    ``grid`` is an ordered tuple of ``(field_name, values)`` pairs; the
+    campaign runs the cartesian product of all grid axes × protocols ×
+    seeds on top of ``base``.
+    """
+
+    name: str
+    base: ScenarioConfig
+    protocols: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    grid: Tuple[Tuple[str, Tuple], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.protocols:
+            raise ValueError("a campaign needs at least one protocol")
+        if not self.seeds:
+            raise ValueError("a campaign needs at least one seed")
+        for name, values in self.grid:
+            if name not in ScenarioConfig.__dataclass_fields__:
+                raise ValueError(f"unknown ScenarioConfig field {name!r}")
+            if not values:
+                raise ValueError(f"grid axis {name!r} has no values")
+
+    @classmethod
+    def from_mapping(
+        cls,
+        name: str,
+        base: ScenarioConfig,
+        protocols: Sequence[str],
+        seeds: Sequence[int],
+        grid: Optional[Dict[str, Sequence]] = None,
+    ) -> "CampaignSpec":
+        return cls(
+            name=name,
+            base=base,
+            protocols=tuple(protocols),
+            seeds=tuple(int(s) for s in seeds),
+            grid=tuple((k, tuple(v)) for k, v in (grid or {}).items()),
+        )
+
+    # ------------------------------------------------------------------
+    def points(self) -> List[Dict[str, object]]:
+        """The grid points (field -> value dicts), in declaration order."""
+        if not self.grid:
+            return [{}]
+        axes = [[(name, v) for v in values] for name, values in self.grid]
+        return [dict(combo) for combo in itertools.product(*axes)]
+
+    def cells(self) -> List[Tuple[str, Dict[str, object]]]:
+        """(protocol, grid point) pairs — one aggregation cell each."""
+        return [(p, pt) for pt in self.points() for p in self.protocols]
+
+    def configs(self) -> List[ScenarioConfig]:
+        """Every run of the campaign: cells × seeds."""
+        out = []
+        for proto, point in self.cells():
+            for seed in self.seeds:
+                out.append(
+                    self.base.replace(protocol=proto, seed=seed, **point)
+                )
+        return out
+
+    def size(self) -> int:
+        return len(self.protocols) * len(self.seeds) * len(self.points())
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _execute(config: ScenarioConfig) -> dict:
+    """Worker-side: run one scenario, return its JSON-safe record."""
+    t0 = time.perf_counter()
+    result = run_scenario(config)
+    return record_from_result(result, elapsed_s=time.perf_counter() - t0)
+
+
+def _execute_indexed(payload: Tuple[int, ScenarioConfig]) -> Tuple[int, dict]:
+    """Worker-side wrapper carrying the run's position in the campaign,
+    so out-of-order pool completions (and duplicate configs, e.g.
+    repeated seeds) map back to the right result slot."""
+    i, config = payload
+    return i, _execute(config)
+
+
+@dataclass
+class CampaignResult:
+    """All runs of a campaign plus cache accounting."""
+
+    spec: CampaignSpec
+    results: List[RunResult]  # aligned with spec.configs()
+    executed: int = 0
+    cache_hits: int = 0  # disk-cache hits
+    memo_hits: int = 0  # in-memory memo hits
+    elapsed_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    def by_cell(self) -> Dict[Tuple[str, Tuple], List[RunResult]]:
+        """Seed replications grouped per (protocol, grid point) cell.
+
+        The point is keyed by its ``(field, value)`` tuple so cells stay
+        hashable; iteration order follows the spec.
+        """
+        out: Dict[Tuple[str, Tuple], List[RunResult]] = {}
+        i = 0
+        for proto, point in self.spec.cells():
+            key = (proto, tuple(point.items()))
+            out[key] = self.results[i : i + len(self.spec.seeds)]
+            i += len(self.spec.seeds)
+        return out
+
+    def aggregate(
+        self, extract: Callable[[RunResult], float], confidence: float = 0.95
+    ):
+        """Per-cell mean ± CI of an extracted quantity.
+
+        Returns ``{(protocol, point_items): CiSummary}`` — the campaign
+        counterpart of :func:`repro.analysis.stats.sweep_cis`.
+        """
+        # Imported lazily: analysis.stats imports sweeps for typing, and
+        # sweeps runs through this module.
+        from repro.analysis.stats import mean_ci
+
+        return {
+            key: mean_ci([extract(r) for r in runs], confidence)
+            for key, runs in self.by_cell().items()
+        }
+
+    def format_table(self, metrics: Sequence[str] = ("pdr",)) -> str:
+        """Aggregate table: one row per cell, mean ± CI per metric."""
+        rows = []
+        header = f"{'protocol':>12s} {'grid point':>24s} {'n':>3s}"
+        for m in metrics:
+            header += f" {m:>24s}"
+        rows.append(header)
+        aggs = [self.aggregate(_summary_extractor(m)) for m in metrics]
+        for key in aggs[0] if aggs else []:
+            proto, point = key
+            label = ",".join(f"{k}={v}" for k, v in point) or "-"
+            row = f"{proto:>12s} {label:>24s} {len(self.spec.seeds):>3d}"
+            for agg in aggs:
+                ci = agg[key]
+                hw = f"±{ci.half_width:.4f}" if ci.half_width == ci.half_width else "±nan"
+                row += f" {ci.mean:>12.4f} {hw:>11s}"
+            rows.append(row)
+        return "\n".join(rows)
+
+
+def _summary_extractor(name: str) -> Callable[[RunResult], float]:
+    if name not in {f.name for f in dataclasses.fields(RunSummary)}:
+        raise ValueError(
+            f"unknown summary metric {name!r}; choose from "
+            f"{sorted(f.name for f in dataclasses.fields(RunSummary))}"
+        )
+    return lambda r: float(getattr(r.summary, name))
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    memo: Optional[Dict[ScenarioConfig, RunResult]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Execute a campaign, reusing every result that is already known.
+
+    Lookup order per run: ``memo`` (an in-memory dict shared across
+    campaigns in one process — the sweep/figure cache) → ``cache_dir``
+    (the persistent JSON store) → execute.  Pending runs go to a
+    ``multiprocessing`` pool when ``workers > 1``; each finished record is
+    written to the cache as it arrives, so interrupting the campaign
+    loses at most the in-flight runs.
+    """
+    t0 = time.perf_counter()
+    configs = spec.configs()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    results: List[Optional[RunResult]] = [None] * len(configs)
+    pending: List[Tuple[int, ScenarioConfig]] = []
+    memo_hits = cache_hits = 0
+
+    for i, cfg in enumerate(configs):
+        if memo is not None and cfg in memo:
+            results[i] = memo[cfg]
+            memo_hits += 1
+            continue
+        record = cache.load(cfg) if cache is not None else None
+        if record is not None:
+            results[i] = result_from_record(record)
+            cache_hits += 1
+            if memo is not None:
+                memo[cfg] = results[i]
+            continue
+        pending.append((i, cfg))
+
+    def _finish(i: int, cfg: ScenarioConfig, record: dict) -> None:
+        results[i] = result_from_record(record)
+        if cache is not None:
+            cache.store(cfg, record)
+        if memo is not None:
+            memo[cfg] = results[i]
+        if progress:
+            progress(
+                f"[{spec.name}] {cfg.protocol} seed={cfg.seed} "
+                f"({record['elapsed_s']:.2f}s)"
+            )
+
+    configs_by_index = dict(pending)
+    n_workers = min(workers, len(pending))
+    if n_workers > 1:
+        with multiprocessing.Pool(n_workers) as pool:
+            for i, record in pool.imap_unordered(_execute_indexed, pending):
+                _finish(i, configs_by_index[i], record)
+    else:
+        for i, cfg in pending:
+            _finish(i, cfg, _execute(cfg))
+
+    return CampaignResult(
+        spec=spec,
+        results=list(results),  # type: ignore[arg-type]
+        executed=len(pending),
+        cache_hits=cache_hits,
+        memo_hits=memo_hits,
+        elapsed_s=time.perf_counter() - t0,
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _field_types() -> Dict[str, type]:
+    hints = typing.get_type_hints(ScenarioConfig)
+    return {f.name: hints[f.name] for f in dataclasses.fields(ScenarioConfig)}
+
+
+def _coerce(field_name: str, raw: str):
+    """Parse a CLI string into the ScenarioConfig field's type."""
+    types = _field_types()
+    if field_name not in types:
+        raise SystemExit(
+            f"unknown ScenarioConfig field {field_name!r}; choose from "
+            f"{sorted(types)}"
+        )
+    typ = types[field_name]
+    if typ is int:
+        return int(raw)
+    if typ is float:
+        return float(raw)
+    return raw
+
+
+def _parse_grid(specs: List[str]) -> Dict[str, Tuple]:
+    grid: Dict[str, Tuple] = {}
+    for item in specs:
+        if "=" not in item:
+            raise SystemExit(f"--grid expects field=v1,v2,... (got {item!r})")
+        name, _, values = item.partition("=")
+        grid[name] = tuple(_coerce(name, v) for v in values.split(",") if v)
+    return grid
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.campaign",
+        description="Run a protocol/parameter/seed campaign in parallel "
+        "with persistent per-run caching.",
+    )
+    what = parser.add_argument_group("what to run")
+    what.add_argument(
+        "--figure",
+        help="run a paper figure's grid (fig07..fig16) instead of --grid",
+    )
+    what.add_argument(
+        "--protocols",
+        default="ss-spst,ss-spst-e",
+        help="comma-separated protocol list (ignored with --figure)",
+    )
+    what.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2,...",
+        help="grid axis over a ScenarioConfig field; repeatable",
+    )
+    what.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        dest="overrides",
+        help="override a base-config field; repeatable",
+    )
+    what.add_argument("--seeds", default="1,2,3", help="comma-separated seeds")
+    what.add_argument(
+        "--paper",
+        action="store_true",
+        help="paper-scale base config (default: quick scale)",
+    )
+    how = parser.add_argument_group("how to run")
+    how.add_argument("--workers", type=int, default=1, help="pool size")
+    how.add_argument(
+        "--cache-dir", default=None, help="persistent JSON result cache"
+    )
+    how.add_argument(
+        "--metrics",
+        default="pdr,energy_per_packet_mj",
+        help="summary fields for the aggregate table",
+    )
+    how.add_argument(
+        "--name", default="cli", help="campaign name (progress labels)"
+    )
+    how.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="list the runs without executing anything",
+    )
+    how.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress"
+    )
+    parser.add_argument(
+        "--list-figures", action="store_true", help="list figure ids and exit"
+    )
+    return parser
+
+
+def _parse_overrides(items: List[str]) -> Dict[str, object]:
+    overrides = {}
+    for item in items:
+        if "=" not in item:
+            raise SystemExit(f"--set expects field=value (got {item!r})")
+        name, _, value = item.partition("=")
+        overrides[name] = _coerce(name, value)
+    return overrides
+
+
+def spec_from_args(args) -> CampaignSpec:
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s)
+    # All overrides are applied in one replace(): interdependent fields
+    # (n_nodes + group_size) would otherwise fail validation midway.
+    overrides = _parse_overrides(args.overrides)
+    if args.figure:
+        from repro.experiments.figures import FIGURES
+
+        if args.figure not in FIGURES:
+            raise SystemExit(
+                f"unknown figure {args.figure!r}; try --list-figures"
+            )
+        spec = FIGURES[args.figure].campaign_spec(
+            quick=not args.paper, seeds=seeds
+        )
+        if overrides:
+            spec = dataclasses.replace(
+                spec, base=spec.base.replace(**overrides)
+            )
+        return spec
+    base = ScenarioConfig.paper_scale() if args.paper else ScenarioConfig.quick()
+    if overrides:
+        base = base.replace(**overrides)
+    return CampaignSpec.from_mapping(
+        name=args.name,
+        base=base,
+        protocols=tuple(p for p in args.protocols.split(",") if p),
+        seeds=seeds,
+        grid=_parse_grid(args.grid),
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_figures:
+        from repro.experiments.figures import FIGURES
+
+        for fid, fig in sorted(FIGURES.items()):
+            print(f"{fid}: {fig.title}")
+        return 0
+
+    try:
+        spec = spec_from_args(args)
+    except ValueError as exc:  # spec validation -> clean CLI error
+        raise SystemExit(str(exc)) from None
+    if args.dry_run:
+        for cfg in spec.configs():
+            print(f"{config_key(cfg)} {cfg.protocol} seed={cfg.seed}")
+        print(f"# {spec.size()} runs")
+        return 0
+
+    progress = None if args.quiet else lambda msg: print(msg, flush=True)
+    campaign = run_campaign(
+        spec,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=progress,
+    )
+    metrics = [m for m in args.metrics.split(",") if m]
+    print()
+    print(
+        f"# campaign {spec.name}: {spec.size()} runs "
+        f"(executed={campaign.executed} cached={campaign.cache_hits} "
+        f"memo={campaign.memo_hits}) in {campaign.elapsed_s:.1f}s"
+    )
+    print(campaign.format_table(metrics))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

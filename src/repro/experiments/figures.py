@@ -75,13 +75,30 @@ class FigureDef:
             seeds=seeds,
         )
 
+    def campaign_spec(self, quick: bool = True, seeds: Sequence[int] = (1, 2, 3)):
+        """The figure's grid as a campaign (shares cells — and therefore
+        cached runs — with every other figure over the same scenarios)."""
+        from repro.experiments.campaign import CampaignSpec
+
+        return CampaignSpec.from_mapping(
+            name=self.fig_id,
+            base=self.base_quick if quick else self.base_full,
+            protocols=tuple(self.protocols),
+            seeds=tuple(seeds),
+            grid={self.x_name: tuple(self.x_quick if quick else self.x_full)},
+        )
+
     def run(
         self,
         quick: bool = True,
         seeds: Sequence[int] = (1, 2, 3),
         cache: Dict = None,
+        workers: int = 1,
+        cache_dir: str = None,
     ) -> SweepResult:
-        return self.sweep(quick=quick, seeds=seeds).run(cache=cache)
+        return self.sweep(quick=quick, seeds=seeds).run(
+            cache=cache, workers=workers, cache_dir=cache_dir
+        )
 
     def check(self, result: SweepResult) -> Dict[str, bool]:
         """Evaluate every shape check; returns {description: holds}."""

@@ -34,8 +34,18 @@ class RunResult:
     frames_collided: int
 
     def __getattr__(self, item):
-        # Convenience passthrough: result.pdr == result.summary.pdr
-        return getattr(self.summary, item)
+        # Convenience passthrough: result.pdr == result.summary.pdr.
+        # Must raise AttributeError (not recurse) for dunders and for
+        # lookups before ``summary`` exists: pickle probes instance
+        # attributes like ``__setstate__`` on a not-yet-populated object,
+        # which previously recursed forever and broke worker pools.
+        if item.startswith("__") and item.endswith("__"):
+            raise AttributeError(item)
+        try:
+            summary = self.__dict__["summary"]
+        except KeyError:
+            raise AttributeError(item) from None
+        return getattr(summary, item)
 
 
 def build_network(config: ScenarioConfig):

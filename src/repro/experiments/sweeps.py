@@ -4,6 +4,13 @@ A :class:`Sweep` varies one scenario parameter over a list of values for a
 set of protocols, averaging each cell over seeds — exactly how the paper
 produced its graphs ("We used various scenario files ... and took an
 average value to plot the graphs").
+
+Execution goes through the campaign engine
+(:mod:`repro.experiments.campaign`): a sweep is a single-axis campaign,
+so it inherits the worker pool (``workers=``), the persistent JSON result
+cache (``cache_dir=``) and resumability for free.  The in-process ``cache``
+dict keeps its historical role of sharing simulations between sweeps that
+extract different metrics from the same runs (Figures 7/8/9).
 """
 
 from __future__ import annotations
@@ -60,29 +67,43 @@ class Sweep:
         self,
         progress: Optional[Callable[[str], None]] = None,
         cache: Optional[Dict] = None,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
     ) -> SweepResult:
-        """Run the grid.  ``cache`` maps ScenarioConfig -> RunResult and is
-        shared across sweeps: figures that differ only in the metric they
-        extract (e.g. Figures 7/8/9) reuse the same simulations."""
+        """Run the grid through the campaign engine.
+
+        ``cache`` maps ScenarioConfig -> RunResult and is shared across
+        sweeps: figures that differ only in the metric they extract
+        (e.g. Figures 7/8/9) reuse the same simulations.  ``workers``
+        runs the grid on a process pool; ``cache_dir`` additionally
+        persists every run as JSON so later invocations (or other
+        campaigns sharing cells) skip it.
+        """
+        # Imported here: campaign imports this module's types for reuse.
+        from repro.experiments.campaign import CampaignSpec, run_campaign
+
+        spec = CampaignSpec.from_mapping(
+            name=f"sweep-{self.x_name}",
+            base=self.base,
+            protocols=tuple(self.protocols),
+            seeds=tuple(self.seeds),
+            grid={self.x_name: tuple(self.x_values)},
+        )
+        campaign = run_campaign(
+            spec,
+            workers=workers,
+            cache_dir=cache_dir,
+            memo=cache,
+            progress=progress,
+        )
+
         series: Dict[str, List[float]] = {p: [] for p in self.protocols}
         raw: Dict[Tuple[str, float], List[RunResult]] = {}
+        by_cell = campaign.by_cell()
         for x in self.x_values:
             for proto in self.protocols:
-                results = []
-                for seed in self.seeds:
-                    cfg = self.base.replace(
-                        **{self.x_name: x, "protocol": proto, "seed": seed}
-                    )
-                    if cache is not None and cfg in cache:
-                        results.append(cache[cfg])
-                    else:
-                        result = run_scenario(cfg)
-                        if cache is not None:
-                            cache[cfg] = result
-                        results.append(result)
-                    if progress:
-                        progress(f"{proto} {self.x_name}={x} seed={seed}")
-                raw[(proto, float(x))] = results
+                results = by_cell[(proto, ((self.x_name, x),))]
+                raw[(proto, float(x))] = list(results)
                 ys = [self.extract(r) for r in results]
                 finite = [y for y in ys if y == y and y != float("inf")]
                 series[proto].append(

@@ -39,6 +39,54 @@ class TestMeanCi:
         assert not a.overlaps(c)
 
 
+class TestMeanCiGolden:
+    """Golden numeric values for the aggregation the campaign engine uses.
+
+    Hand-checked against Student-t tables: t(0.975, df=1) = 12.70620474,
+    t(0.975, df=2) = 4.30265273, t(0.95, df=2) = 2.91998558,
+    t(0.975, df=4) = 2.77644511.
+    """
+
+    def test_three_samples_95(self):
+        # mean 2, sample sd 1, hw = 4.30265273 / sqrt(3)
+        ci = mean_ci([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0, abs=1e-12)
+        assert ci.half_width == pytest.approx(2.48413771175033, rel=1e-9)
+        assert ci.n == 3
+
+    def test_two_samples_95(self):
+        # mean 11, var 2, hw = t(0.975, df=1) * sqrt(2/2) = 12.70620474
+        ci = mean_ci([10.0, 12.0])
+        assert ci.mean == pytest.approx(11.0, abs=1e-12)
+        assert ci.half_width == pytest.approx(12.706204736174694, rel=1e-9)
+
+    def test_three_samples_90(self):
+        ci = mean_ci([1.0, 2.0, 3.0], confidence=0.90)
+        assert ci.half_width == pytest.approx(1.6858544608470483, rel=1e-9)
+
+    def test_five_samples_95(self):
+        # values 2..10 step 2: mean 6, var 10, hw = 2.77644511 * sqrt(2)
+        ci = mean_ci([2.0, 4.0, 6.0, 8.0, 10.0])
+        assert ci.mean == pytest.approx(6.0, abs=1e-12)
+        assert ci.half_width == pytest.approx(3.9264863229551143, rel=1e-9)
+        assert ci.low == pytest.approx(6.0 - 3.9264863229551143, rel=1e-9)
+        assert ci.high == pytest.approx(6.0 + 3.9264863229551143, rel=1e-9)
+
+    def test_single_replication_edge_case(self):
+        """One seed: the mean is exact but the interval must be infinite
+        (the campaign aggregator shows ±inf rather than false precision)."""
+        ci = mean_ci([7.5])
+        assert ci == CiSummary(7.5, float("inf"), 1)
+        assert ci.low == float("-inf") and ci.high == float("inf")
+        # an infinite interval overlaps anything
+        assert ci.overlaps(CiSummary(1e9, 0.0, 3))
+
+    def test_identical_samples_zero_width(self):
+        ci = mean_ci([4.2, 4.2, 4.2])
+        assert ci.mean == pytest.approx(4.2, abs=1e-12)
+        assert ci.half_width == pytest.approx(0.0, abs=1e-12)
+
+
 class _FakeRun:
     def __init__(self, value):
         self.value = value
