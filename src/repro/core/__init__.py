@@ -5,14 +5,25 @@ Contents:
 * :mod:`repro.core.state` — per-node protocol state ``(parent, cost, hop)``
   and helpers to derive children / member flags from a state vector;
 * :mod:`repro.core.views` — the information interface the algorithm reads
-  (globally in the round model, from beacons in the DES protocols);
+  (globally in the round model, from beacons in the DES protocols).  The
+  round-model :class:`~repro.core.views.GlobalView` is fully incremental:
+  ``apply`` patches children lists, member flags and per-node
+  flagged-children counters by walking only the affected ancestor chains
+  (tracking parent cycles so counter maintenance is only trusted on
+  acyclic states), reports which flags flipped, and prices SS-SPST-E
+  candidate paths with an iterative, prefix-memoized chain walk — no
+  recursion, so arbitrarily deep parent chains are fine;
 * :mod:`repro.core.metrics` — the four cost metrics: hop (SS-SPST),
   link transmission energy (SS-SPST-T), costliest-child node energy
   (SS-SPST-F), and the proposed overhearing-aware metric (SS-SPST-E);
 * :mod:`repro.core.rules` — the guarded self-stabilizing update rule
   (paper section 5);
 * :mod:`repro.core.rounds` — synchronous and central-daemon round
-  executors with stabilization accounting;
+  executors with stabilization accounting; the incremental (dirty-set)
+  variants are bit-identical to the baselines for *all four* metrics —
+  SS-SPST-E's chain coupling is localized through the flag-flip reports
+  (subtree seeding) — and expose ``run_perturbed`` for warm-start fault
+  recovery from a settled state;
 * :mod:`repro.core.legitimacy` — the legitimate-state predicate;
 * :mod:`repro.core.convergence` — Lemma 1-3 checkers (convergence,
   closure, loop-freedom);

@@ -37,6 +37,7 @@ SS-SPST-E  ``E_tx(r_v) + n'_v * E_rx + D_v`` with ``r_v`` over *flagged*
 from __future__ import annotations
 
 import abc
+import weakref
 from typing import Dict, List, Optional, Sequence, Type
 
 import numpy as np
@@ -70,14 +71,25 @@ class CostMetric(abc.ABC):
     #: whose join cost also reads neighbors' children sets extend the
     #: reach by one hop around the endpoints of a moved parent pointer
     #: (farthest keeps radius 1 because the executors seed the closure
-    #: with both parent endpoints).  ``None`` = globally coupled: member
-    #: flags and chain re-pricing make any change reach arbitrarily far
-    #: (SS-SPST-E), so every node stays dirty while the system moves.
+    #: with both parent endpoints).  Chain-coupled metrics
+    #: (``path_couples_to_children``) additionally seed the closure with
+    #: the *subtrees* of every touched tree position, using the flag-flip
+    #: reports of :meth:`repro.core.views.GlobalView.apply` — see
+    #: ``_IncrementalBase._affected``.  ``None`` = globally coupled with
+    #: no localization at all: every node stays dirty while the system
+    #: moves (an escape hatch for custom metrics; none of the paper's
+    #: four needs it).
     dependency_radius: Optional[int] = 1
 
     def __init__(self, radio: RadioModel) -> None:
         self.radio = radio
         self.e_rx = radio.rx_energy(1.0)  # J per bit received
+        # OC_max per topology (the update rule reads it on every single
+        # evaluation; the energy variants scan the whole distance matrix
+        # to compute it, which must not be paid per node per round).
+        self._infinity_cache: "weakref.WeakKeyDictionary[Topology, float]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     # ------------------------------------------------------------------
     def etx(self, distance: float) -> float:
@@ -98,11 +110,21 @@ class CostMetric(abc.ABC):
         """Static total cost of a settled tree."""
 
     def infinity(self, topo: Topology) -> float:
-        """``OC_max`` for disconnected nodes (exceeds any tree cost)."""
+        """``OC_max`` for disconnected nodes (exceeds any tree cost).
+
+        Cached per topology (weakly, so topologies are not kept alive):
+        the value is a pure function of the distance matrix, which is
+        immutable for the lifetime of a :class:`Topology`.
+        """
+        cached = self._infinity_cache.get(topo)
+        if cached is not None:
+            return cached
         finite = topo.dist[np.isfinite(topo.dist)]
         d_max = float(finite.max()) if finite.size else 1.0
         per_node = self.etx(d_max) + topo.n * self.e_rx
-        return (topo.n + 1) * per_node + 1.0
+        out = (topo.n + 1) * per_node + 1.0
+        self._infinity_cache[topo] = out
+        return out
 
 
 class HopMetric(CostMetric):
@@ -186,9 +208,12 @@ class EnergyAwareMetric(FarthestChildMetric):
     """
 
     name = "energy"
-    # Member flags and chain re-pricing couple every node's update to the
-    # whole tree: no local dirty set is sound (see CostMetric docstring).
-    dependency_radius = None
+    # Member flags and chain re-pricing couple a node's update to the
+    # ancestor chains of its candidates.  Inverted, a change is read
+    # exactly by the subtrees of the touched tree positions — the
+    # executors seed the dirty closure with those subtrees (derived from
+    # the flag flips GlobalView.apply reports), then extend one hop.
+    dependency_radius = 1
     # E beacons additionally carry the sender's neighbor-distance list so
     # joiners can evaluate the discard term; distances are quantized to one
     # byte each (range/255 buckets) — full floats would make the beacon
@@ -200,10 +225,25 @@ class EnergyAwareMetric(FarthestChildMetric):
     path_couples_to_children = True
 
     def node_cost_at_radius(self, view: NodeView, u: NodeId, radius: float) -> float:
-        """``C_u`` at a hypothetical data radius: tx + everyone-in-range rx."""
+        """``C_u`` at a hypothetical data radius: tx + everyone-in-range rx.
+
+        The value is a pure function of ``(u, radius)`` for views backed
+        by a static topology; such views expose a ``node_cost_cache``
+        dict and chain pricing (which evaluates this at every ancestor)
+        hits it.  Beacon-table views have *dynamic* neighborhoods and no
+        cache attribute, so they always compute.
+        """
         if radius <= 0.0:
             return 0.0
-        return self.etx(radius) + view.count_in_range(u, radius) * self.e_rx
+        cache = getattr(view, "node_cost_cache", None)
+        if cache is None:
+            return self.etx(radius) + view.count_in_range(u, radius) * self.e_rx
+        key = (u, radius)
+        val = cache.get(key)
+        if val is None:
+            val = self.etx(radius) + view.count_in_range(u, radius) * self.e_rx
+            cache[key] = val
+        return val
 
     #: weight of the shadow price charged to unflagged (pruned) joiners.
     #: A pruned node imposes no *data* cost (the paper's semantics, and the
@@ -216,10 +256,12 @@ class EnergyAwareMetric(FarthestChildMetric):
     def _delta(self, view: NodeView, v: NodeId, u: NodeId) -> float:
         r_without = view.radius_without(u, v, flagged_only=True)
         d = view.dist(v, u)
-        r_with = max(r_without, d)
-        marginal = self.node_cost_at_radius(view, u, r_with) - self.node_cost_at_radius(
-            view, u, r_without
-        )
+        if d <= r_without:  # v already covered: marginal exactly zero
+            marginal = 0.0
+        else:
+            marginal = self.node_cost_at_radius(view, u, d) - self.node_cost_at_radius(
+                view, u, r_without
+            )
         if not view.flag_excluding(v, v):
             # An unflagged child imposes no data-forwarding obligation; it
             # either already overhears (within r) or simply isn't covered.

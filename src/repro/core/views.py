@@ -20,8 +20,8 @@ same view from received beacon payloads (:mod:`repro.protocols.ss_spst`).
 from __future__ import annotations
 
 import abc
-from bisect import insort
-from typing import Dict, List, Optional, Sequence
+from bisect import bisect_left, insort
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.state import NodeState, derive_children, derive_flags
 from repro.graph.topology import Topology
@@ -91,17 +91,76 @@ class NodeView(abc.ABC):
         """
 
 
+class _DetachedFlags:
+    """Member flags in a v-detached world: the live flags with a small
+    ancestor prefix turned off.
+
+    Detaching ``v`` can only *lower* flags, and only on the contiguous
+    ancestor prefix of ``v``'s parent whose member support came solely
+    through ``v`` — so the detached world is representable as the live
+    flag list plus an "off" set, no copy required.  Supports exactly the
+    indexing the metric code performs on flag vectors.
+    """
+
+    __slots__ = ("base", "off")
+
+    def __init__(self, base: Sequence[bool], off: Set[NodeId]) -> None:
+        self.base = base
+        self.off = off
+
+    def __getitem__(self, u: NodeId) -> bool:
+        return bool(self.base[u]) and u not in self.off
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+
+def _count_parent_cycles(states: Sequence[NodeState]) -> int:
+    """Number of cycles in the parent-pointer functional graph.
+
+    Arbitrary (illegitimate) states may contain parent cycles; while any
+    exist, counter-based flag maintenance is unsound (a cycle can keep its
+    own flags alive) and the view falls back to full re-derivation.
+    """
+    n = len(states)
+    color = [0] * n  # 0 = unvisited, 1 = on current walk, 2 = finished
+    cycles = 0
+    for s in range(n):
+        if color[s]:
+            continue
+        path = []
+        w: Optional[int] = s
+        while w is not None and color[w] == 0:
+            color[w] = 1
+            path.append(w)
+            w = states[w].parent
+        if w is not None and color[w] == 1:
+            cycles += 1  # the walk bit its own tail: one new cycle
+        for x in path:
+            color[x] = 2
+    return cycles
+
+
 class GlobalView(NodeView):
     """Round-model view: global topology + a state vector snapshot.
 
     The view is *updatable*: :meth:`apply` replaces one node's state in
-    place and incrementally maintains the derived structures (children
-    lists; member flags are invalidated and lazily re-derived only when a
-    parent pointer actually moved).  Executors that serialize updates —
-    the central-daemon family — keep one view per round and apply moves
-    to it instead of re-deriving children and flags from scratch for
-    every node, which removes the O(n²)-per-round view reconstruction
-    that used to dominate large-topology runs.
+    place and incrementally maintains every derived structure:
+
+    * children lists are patched (kept sorted, matching
+      :func:`~repro.core.state.derive_children` exactly);
+    * member flags and a per-node flagged-children counter are updated by
+      walking only the old-parent and new-parent ancestor chains — a flag
+      can only toggle along those chains, and the walk stops at the first
+      ancestor whose flag is unaffected;
+    * the number of parent-pointer cycles is tracked so the counter scheme
+      is only trusted on acyclic states (cycles can be self-supporting;
+      while any exist, flags fall back to lazy full re-derivation).
+
+    :meth:`apply` reports which nodes' flags actually flipped (or ``None``
+    when it cannot tell), which is what lets the incremental executors
+    build *finite* dirty sets for the chain-coupled SS-SPST-E metric
+    instead of marking every node dirty.
     """
 
     def __init__(self, topo: Topology, states: Sequence[NodeState]) -> None:
@@ -109,33 +168,160 @@ class GlobalView(NodeView):
         self.states = list(states)
         self._children = derive_children(self.states)
         self._flags_cache: Optional[List[bool]] = None
-        self._flags_excl: Dict[NodeId, List[bool]] = {}
+        self._fcnt: Optional[List[int]] = None  # per-node flagged-children count
+        self._n_cycles = _count_parent_cycles(self.states)
+        self._flags_excl: Dict[NodeId, Sequence[bool]] = {}
+        # Per-evaluation chain-price memo: ``(w, carried_flag) -> price`` of
+        # w's upstream chain in the owner's detached world.  Candidates of
+        # one evaluating node share chain prefixes (all chains converge
+        # toward the root), so one evaluation walks each chain segment once
+        # instead of once per candidate.  Any apply() invalidates it.
+        self._price_memo: Dict[Tuple[NodeId, bool], float] = {}
+        self._price_memo_owner: Optional[NodeId] = None
+        #: static per-(node, radius) node-cost values, filled by
+        #: :meth:`EnergyAwareMetric.node_cost_at_radius`; never invalidated
+        #: (the underlying topology is immutable).
+        self.node_cost_cache: Dict[Tuple[NodeId, float], float] = {}
+        #: static tree-edge distances (0.0 for non-edges), keyed (child,
+        #: parent); chain walks read one per ancestor step.
+        self._edge_dist: Dict[Tuple[NodeId, NodeId], float] = {}
 
     @property
     def _flags(self) -> List[bool]:
         """Member flags, derived lazily (metrics that never read flags —
-        hop, tx — never pay for them)."""
+        hop, tx — never pay for them).  On acyclic states the flagged-
+        children counters are built alongside and both are maintained
+        incrementally by :meth:`apply` from then on."""
         if self._flags_cache is None:
             self._flags_cache = derive_flags(self.topo, self.states)
+            self._fcnt = None
+        if self._fcnt is None and self._n_cycles == 0:
+            fcnt = [0] * len(self.states)
+            flags = self._flags_cache
+            for c, st in enumerate(self.states):
+                if st.parent is not None and flags[c]:
+                    fcnt[st.parent] += 1
+            self._fcnt = fcnt
         return self._flags_cache
 
-    def apply(self, v: NodeId, new_state: NodeState) -> None:
+    # ------------------------------------------------------------------
+    # In-place updates
+    # ------------------------------------------------------------------
+    def apply(self, v: NodeId, new_state: NodeState) -> Optional[Tuple[NodeId, ...]]:
         """Replace ``v``'s state, updating derived structures in place.
 
-        Children lists are patched incrementally (kept sorted, matching
-        :func:`~repro.core.state.derive_children` output exactly); flags
-        and the detached-flag cache depend only on parent pointers and
-        membership, so they are invalidated only when the parent moved.
+        Returns the nodes whose member flag flipped (possibly empty), or
+        ``None`` when the impact is unknown — flags were not materialized
+        yet, or a parent cycle is involved and the counter scheme cannot
+        localize the change.  Callers building dirty sets must treat
+        ``None`` as "anything may have changed".
         """
         old = self.states[v]
+        if old.parent == new_state.parent:
+            # Cost/hop-only change: children, flags and cycles untouched;
+            # chain prices can still shift (disconnected-terminal costs).
+            self.states[v] = new_state
+            self._price_memo.clear()
+            self._price_memo_owner = None
+            return ()
+
+        p_old, p_new = old.parent, new_state.parent
+        # A parent move can only create/destroy a cycle *through v*; check
+        # before and after the edit.  With zero cycles the "before" walk is
+        # provably negative and skipped.
+        was_on_cycle = self._n_cycles > 0 and self._on_own_cycle(v)
+        if p_old is not None:
+            siblings = self._children[p_old]
+            i = bisect_left(siblings, v)
+            if i == len(siblings) or siblings[i] != v:
+                raise ValueError(
+                    f"GlobalView.apply: node {v} is not a recorded child of "
+                    f"its current parent {p_old}; the state vector or "
+                    f"children lists were mutated outside apply()"
+                )
+            del siblings[i]
         self.states[v] = new_state
-        if old.parent != new_state.parent:
-            if old.parent is not None:
-                self._children[old.parent].remove(v)
-            if new_state.parent is not None:
-                insort(self._children[new_state.parent], v)
+        if p_new is not None:
+            insort(self._children[p_new], v)
+        now_on_cycle = self._on_own_cycle(v)
+        self._n_cycles += int(now_on_cycle) - int(was_on_cycle)
+
+        self._flags_excl.clear()
+        self._price_memo.clear()
+        self._price_memo_owner = None
+
+        if was_on_cycle or now_on_cycle or self._n_cycles > 0:
+            # Cycles can keep their own flags alive; no local walk is
+            # sound.  Re-derive lazily and report "unknown".
             self._flags_cache = None
-            self._flags_excl.clear()
+            self._fcnt = None
+            return None
+        if self._flags_cache is None or self._fcnt is None:
+            return None  # flags never materialized: nothing to maintain
+
+        # Acyclic before and after: v's own flag depends only on its own
+        # children (unchanged), so only the two ancestor chains can flip.
+        if not self._flags_cache[v]:
+            return ()
+        flips: List[NodeId] = []
+        if p_old is not None:
+            self._dec_flag_chain(p_old, flips)
+        if p_new is not None:
+            self._inc_flag_chain(p_new, flips)
+        return tuple(flips)
+
+    def _on_own_cycle(self, v: NodeId) -> bool:
+        """Whether following parent pointers from ``v`` returns to ``v``."""
+        w = self.states[v].parent
+        for _ in range(len(self.states)):
+            if w is None:
+                return False
+            if w == v:
+                return True
+            w = self.states[w].parent
+        return False  # walked into a foreign cycle: v is not on it
+
+    def _dec_flag_chain(self, w: Optional[NodeId], flips: List[NodeId]) -> None:
+        """Ancestor walk after ``w`` lost one flagged child."""
+        members = self.topo.members
+        flags, fcnt, states = self._flags_cache, self._fcnt, self.states
+        while w is not None:
+            fcnt[w] -= 1
+            if w in members or fcnt[w] > 0:
+                break  # flag survives: nothing changes further up
+            flags[w] = False
+            flips.append(w)
+            w = states[w].parent
+
+    def _inc_flag_chain(self, w: Optional[NodeId], flips: List[NodeId]) -> None:
+        """Ancestor walk after ``w`` gained one flagged child."""
+        flags, fcnt, states = self._flags_cache, self._fcnt, self.states
+        while w is not None:
+            fcnt[w] += 1
+            if flags[w]:
+                break  # already flagged: ancestors unaffected
+            flags[w] = True
+            flips.append(w)
+            w = states[w].parent
+
+    def collect_subtrees(self, roots: Iterable[NodeId]) -> Set[NodeId]:
+        """All nodes in the (current) subtrees rooted at ``roots``.
+
+        Used by the incremental executors: a changed radius/flag at node
+        ``y`` is read by exactly the candidate chains passing through
+        ``y``, i.e. by evaluators adjacent to ``y``'s subtree.  Robust to
+        parent cycles (the visited set bounds the walk).
+        """
+        out: Set[NodeId] = set(roots)
+        stack = list(out)
+        children = self._children
+        while stack:
+            w = stack.pop()
+            for c in children[w]:
+                if c not in out:
+                    out.add(c)
+                    stack.append(c)
+        return out
 
     # ------------------------------------------------------------------
     def neighbors_of(self, v: NodeId) -> List[NodeId]:
@@ -162,24 +348,46 @@ class GlobalView(NodeView):
     def count_in_range(self, u: NodeId, radius: float) -> int:
         if radius <= 0.0:
             return 0
-        return len(self.topo.neighbors_within(u, radius))
+        return self.topo.count_within(u, radius)
 
     def member(self, u: NodeId) -> bool:
         return u in self.topo.members
 
-    def flags_excluding(self, v: NodeId) -> List[bool]:
-        """Member flags with ``v`` detached from its current parent (cached)."""
+    def flags_excluding(self, v: NodeId) -> Sequence[bool]:
+        """Member flags with ``v`` detached from its current parent (cached).
+
+        On acyclic states this is an ancestor walk over the flagged-children
+        counters: detaching ``v`` turns off exactly the contiguous ancestor
+        prefix whose only member support came through ``v`` (each ancestor
+        in turn loses one flagged child; the walk stops at the first member
+        or multiply-supported node).  Cyclic states fall back to a full
+        re-derivation over a detached copy.
+        """
         cached = self._flags_excl.get(v)
         if cached is not None:
             return cached
-        if self.states[v].parent is None:
-            flags = self._flags
-        else:
+        flags = self._flags  # materializes counters on acyclic states
+        st = self.states[v]
+        out: Sequence[bool]
+        if st.parent is None or not flags[v]:
+            out = flags  # detaching changes nothing
+        elif self._fcnt is None:
             detached = list(self.states)
-            detached[v] = NodeState(parent=None, cost=detached[v].cost, hop=detached[v].hop)
-            flags = derive_flags(self.topo, detached)
-        self._flags_excl[v] = flags
-        return flags
+            detached[v] = NodeState(parent=None, cost=st.cost, hop=st.hop)
+            out = derive_flags(self.topo, detached)
+        else:
+            off: Set[NodeId] = set()
+            members = self.topo.members
+            fcnt, states = self._fcnt, self.states
+            w = st.parent
+            while w is not None:
+                if w in members or fcnt[w] > 1:
+                    break  # keeps a flag source besides the detached chain
+                off.add(w)
+                w = states[w].parent
+            out = _DetachedFlags(flags, off) if off else flags
+        self._flags_excl[v] = out
+        return out
 
     def flag_excluding(self, u: NodeId, v: NodeId) -> bool:
         return bool(self.flags_excluding(v)[u])
@@ -199,10 +407,14 @@ class GlobalView(NodeView):
         return radius
 
     def path_price(self, u: NodeId, v: NodeId, v_flag: bool, metric) -> float:
-        """Exact chain walk in the v-detached world (see the ABC docstring).
+        """Exact iterative chain walk in the v-detached world (ABC docstring).
 
         Guards against parent cycles (possible in arbitrary illegitimate
-        states) by falling back to the advertised cost when a node repeats.
+        states) by falling back to the advertised cost when a node repeats,
+        and never recurses — line topologies deeper than the interpreter's
+        recursion limit are fine.  Chain-price prefixes are memoized per
+        evaluating node (see ``_price_memo``), so evaluating all of ``v``'s
+        candidates costs one walk over the union of their chains.
         """
         if not getattr(metric, "path_couples_to_children", False):
             return self.states[u].cost
@@ -211,32 +423,73 @@ class GlobalView(NodeView):
         flag_u = self.member(u) or v_flag or any(
             flags[c] for c in self._children[u] if c != v
         )
-        return self._cost_up(u, flag_u, v, flags, metric, seen={u})
+        if self._price_memo_owner != v:
+            # New evaluating node: prior prefixes were priced in a
+            # different detached world.
+            self._price_memo = {}
+            self._price_memo_owner = v
+        memo = self._price_memo
+        states, children, topo = self.states, self._children, self.topo
+        member_of = topo.members
+        edge_dist = self._edge_dist
 
-    def _cost_up(self, w, flag_w, v, flags, metric, seen) -> float:
-        """Path cost of node ``w`` carrying (possibly modified) flag ``flag_w``."""
-        if w == self.topo.source:
-            return 0.0
-        p = self.states[w].parent
-        if p is None:
-            return self.states[w].cost  # disconnected: advertised OC_max
-        # Marginal cost p pays to cover w (w's attachment is being priced,
-        # so w itself is excluded from p's baseline radius).
-        if flag_w:
-            d = float(self.topo.dist[w, p]) if self.topo.has_edge(w, p) else 0.0
-            # v is detached everywhere in this world, so exclude it too.
-            r_wo = self._radius_excluding(p, (w, v), flags, flagged_only=True)
-            delta = metric.node_cost_at_radius(self, p, max(r_wo, d)) - (
-                metric.node_cost_at_radius(self, p, r_wo)
+        w, flag_w = u, bool(flag_u)
+        seen = {u}
+        pending: List[Tuple[Tuple[NodeId, bool], float]] = []
+        cacheable = True
+        while True:
+            base = memo.get((w, flag_w))
+            if base is not None:
+                break
+            if w == topo.source:
+                base = 0.0
+                memo[(w, flag_w)] = base
+                break
+            p = states[w].parent
+            if p is None:
+                base = states[w].cost  # disconnected: advertised OC_max
+                memo[(w, flag_w)] = base
+                break
+            # Marginal cost p pays to cover w (w's attachment is being
+            # priced, so w itself is excluded from p's baseline radius;
+            # v is detached everywhere in this world, so exclude it too).
+            if flag_w:
+                d = edge_dist.get((w, p))
+                if d is None:
+                    d = float(topo.dist[w, p]) if topo.has_edge(w, p) else 0.0
+                    edge_dist[(w, p)] = d
+                r_wo = self._radius_excluding(p, (w, v), flags, flagged_only=True)
+                if d <= r_wo:
+                    delta = 0.0  # w already covered: marginal exactly zero
+                else:
+                    delta = metric.node_cost_at_radius(self, p, d) - (
+                        metric.node_cost_at_radius(self, p, r_wo)
+                    )
+            else:
+                delta = 0.0
+            if p in seen:  # cycle in an illegitimate state: stop re-pricing
+                # The cut point depends on where *this* walk started, so
+                # the price is valid for this candidate only — memoizing
+                # it would leak one candidate's cut into another's chain.
+                base = states[p].cost + delta
+                cacheable = False
+                break
+            seen.add(p)
+            flag_p = bool(
+                p in member_of
+                or flag_w
+                or any(flags[c] for c in children[p] if c not in (w, v))
             )
-        else:
-            delta = 0.0
-        if p in seen:  # cycle in an illegitimate state: stop re-pricing
-            return self.states[p].cost + delta
-        seen.add(p)
-        flag_p = (
-            self.member(p)
-            or flag_w
-            or any(flags[c] for c in self._children[p] if c not in (w, v))
-        )
-        return self._cost_up(p, flag_p, v, flags, metric, seen) + delta
+            pending.append(((w, flag_w), delta))
+            w, flag_w = p, flag_p
+        # Backfill the walked prefixes: price(w) = delta(w->p) + price(p).
+        # A walk truncated by the cycle guard yields start-dependent
+        # values: return them, but keep them out of the shared memo so
+        # every candidate prices cycles from its own walk (the pre-memo
+        # per-candidate semantics).
+        price = base
+        for key, delta in reversed(pending):
+            price += delta
+            if cacheable:
+                memo[key] = price
+        return price

@@ -483,6 +483,23 @@ def _parse_overrides(items: List[str]) -> Dict[str, object]:
     return overrides
 
 
+def _reject_grid_collisions(
+    overrides: Dict[str, object], axes: Iterable[str], context: str
+) -> None:
+    """``--set`` values on a grid axis would be silently clobbered by the
+    grid's values (every cell re-assigns the axis field on top of the
+    base config) — that is never what the caller meant, so fail loudly."""
+    clash = sorted(set(overrides) & set(axes))
+    if clash:
+        fields = ", ".join(clash)
+        raise SystemExit(
+            f"--set {fields}: field{'s' if len(clash) > 1 else ''} "
+            f"{fields} {'are' if len(clash) > 1 else 'is'} a grid axis of "
+            f"{context}; the grid values would overwrite the override. "
+            f"Drop the --set, or use --grid {clash[0]}=... to pin the axis."
+        )
+
+
 def spec_from_args(args) -> CampaignSpec:
     seeds = tuple(int(s) for s in args.seeds.split(",") if s)
     # All overrides are applied in one replace(): interdependent fields
@@ -499,10 +516,17 @@ def spec_from_args(args) -> CampaignSpec:
             quick=not args.paper, seeds=seeds
         )
         if overrides:
+            _reject_grid_collisions(
+                overrides,
+                (name for name, _ in spec.grid),
+                f"figure {args.figure}",
+            )
             spec = dataclasses.replace(
                 spec, base=spec.base.replace(**overrides)
             )
         return spec
+    grid = _parse_grid(args.grid)
+    _reject_grid_collisions(overrides, grid, "this campaign (--grid)")
     base = ScenarioConfig.paper_scale() if args.paper else ScenarioConfig.quick()
     if overrides:
         base = base.replace(**overrides)
@@ -511,7 +535,7 @@ def spec_from_args(args) -> CampaignSpec:
         base=base,
         protocols=tuple(p for p in args.protocols.split(",") if p),
         seeds=seeds,
-        grid=_parse_grid(args.grid),
+        grid=grid,
     )
 
 

@@ -9,6 +9,7 @@ gives edge distances only).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -65,6 +66,7 @@ class Topology:
         self._adj: List[List[NodeId]] = [
             [int(j) for j in np.nonzero(finite[i])[0]] for i in range(n)
         ]
+        self._sorted_nbr_dists: Optional[List[List[float]]] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -121,6 +123,23 @@ class Topology:
     def neighbors_within(self, v: NodeId, radius: float) -> List[NodeId]:
         """Graph neighbors of ``v`` no farther than ``radius``."""
         return [u for u in self._adj[v] if self.dist[v, u] <= radius + 1e-12]
+
+    def count_within(self, v: NodeId, radius: float) -> int:
+        """``len(neighbors_within(v, radius))`` in O(log deg).
+
+        Pricing a chain under SS-SPST-E queries the in-range neighbor
+        *count* at every ancestor; per-node sorted distance lists (built
+        lazily on first use) turn each query into one bisection with the
+        exact tolerance semantics of :meth:`neighbors_within`.
+        """
+        rows = self._sorted_nbr_dists
+        if rows is None:
+            rows = [
+                sorted(float(self.dist[i, u]) for u in self._adj[i])
+                for i in range(self.n)
+            ]
+            self._sorted_nbr_dists = rows
+        return bisect_right(rows[v], radius + 1e-12)
 
     def is_connected(self) -> bool:
         """BFS connectivity over the whole node set."""

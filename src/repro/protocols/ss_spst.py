@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
@@ -255,6 +255,13 @@ class SSSPSTAgent(MulticastAgent):
         self._timer: Optional[PeriodicTimer] = None
         self._hold_until = -1.0
         self.parent_changes = 0  # stability accounting (SS-SPST-F analysis)
+        # Apply-style maintenance of the derived beacon-view structures
+        # (mirroring GlobalView.apply in the round model): the children
+        # map and the flagged-children set are patched as beacons arrive
+        # and entries expire, instead of re-scanning the whole neighbor
+        # table on every tick / radius query / flag refresh.
+        self._child_infos: Dict[NodeId, NeighborInfo] = {}
+        self._flagged_children: Set[NodeId] = set()
 
     # ------------------------------------------------------------------
     def _oc_max(self) -> float:
@@ -291,7 +298,8 @@ class SSSPSTAgent(MulticastAgent):
         if not self.node.alive:
             return
         now = self.sim.now
-        expired = self.table.expire(now)
+        for nid in self.table.expire(now):
+            self._sync_child(nid, None)
         if self.state.parent is not None and self.state.parent not in self.table:
             # Parent beacon missing: sensed disconnection (a fault).
             self._set_state(NodeState(None, self.oc_max, self.h_max))
@@ -299,17 +307,24 @@ class SSSPSTAgent(MulticastAgent):
         self._run_rule()
         self._broadcast_beacon()
 
+    def _sync_child(self, nid: NodeId, info: Optional[NeighborInfo]) -> None:
+        """Patch the children/flag structures for one neighbor's new state
+        (``info is None`` = the neighbor expired or was forgotten)."""
+        if info is not None and info.state.get("parent") == self.node.id:
+            self._child_infos[nid] = info
+            if info.state.get("flag", False):
+                self._flagged_children.add(nid)
+            else:
+                self._flagged_children.discard(nid)
+        else:
+            self._child_infos.pop(nid, None)
+            self._flagged_children.discard(nid)
+
     def _children(self) -> List[NeighborInfo]:
-        return [
-            info
-            for _, info in self.table.items()
-            if info.state.get("parent") == self.node.id
-        ]
+        return list(self._child_infos.values())
 
     def _refresh_flag(self) -> None:
-        self.flag = self.is_member or any(
-            c.state.get("flag", False) for c in self._children()
-        )
+        self.flag = self.is_member or bool(self._flagged_children)
 
     def _run_rule(self) -> None:
         view = LocalView(self)
@@ -459,12 +474,13 @@ class SSSPSTAgent(MulticastAgent):
     # ------------------------------------------------------------------
     def handle_packet(self, packet: Packet) -> bool:
         if packet.kind is PacketKind.BEACON:
-            self.table.update(
+            info = self.table.update(
                 packet.src,
                 now=self.sim.now,
                 position=np.asarray(packet.payload["pos"], dtype=float),
                 state=packet.payload,
             )
+            self._sync_child(packet.src, info)
             return True
         if packet.kind is PacketKind.DATA:
             return self._handle_data(packet)

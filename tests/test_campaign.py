@@ -327,6 +327,28 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["--figure", "fig99", "--dry-run"])
 
+    def test_rejects_set_colliding_with_figure_axis(self):
+        # fig09's grid axis is v_max: a --set on it would be silently
+        # clobbered by the grid values — must be a loud error instead.
+        with pytest.raises(SystemExit, match="v_max.*grid axis.*fig09"):
+            main(["--figure", "fig09", "--set", "v_max=3.0", "--dry-run"])
+
+    def test_rejects_set_colliding_with_grid_axis(self):
+        with pytest.raises(SystemExit, match="v_max.*grid axis"):
+            main(
+                ["--grid", "v_max=1.0,5.0", "--set", "v_max=3.0", "--dry-run"]
+            )
+
+    def test_set_on_non_axis_field_still_works_with_figure(self):
+        from repro.experiments.campaign import build_parser, spec_from_args
+
+        args = build_parser().parse_args(
+            ["--figure", "fig09", "--seeds", "1", "--set", "n_nodes=16",
+             "--set", "group_size=4"]
+        )
+        spec = spec_from_args(args)
+        assert spec.base.n_nodes == 16
+
 
 class TestSweepIntegration:
     def test_sweep_through_campaign_engine(self, tmp_path):
