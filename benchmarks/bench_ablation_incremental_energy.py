@@ -1,23 +1,33 @@
 """Ablation: incremental dirty-set execution for the SS-SPST-E metric.
 
 PR 1's dirty-set executors degenerated to global re-evaluation for
-exactly the metric the paper is about (``dependency_radius = None``).
-With incremental flag/path-price maintenance in :class:`GlobalView`,
-SS-SPST-E now gets finite dirty sets (ancestor-chain flag flips →
-subtree seeding); this bench quantifies the two workloads:
+exactly the metric the paper is about; PR 2's incremental flag/path-price
+maintenance gave SS-SPST-E finite dirty sets, and the daemon/engine
+decomposition made the speedup daemon-generic — this bench runs the
+**randomized daemon** (the schedule the SS-SPST-E convergence claims are
+actually stated under, since fixed orders admit limit cycles) through
+:class:`~repro.core.rounds.RoundEngine` in both evaluation modes and
+quantifies three workloads:
 
 * **convergence** — stabilizing a fresh network (everything moves, so
-  dirty sets stay large; the gain is the warm in-place view), and
+  dirty sets stay large; the gain is the warm in-place view),
 * **fault recovery** — the self-stabilization story: transient state
   corruption of single nodes on a *settled* tree, absorbed through
-  :meth:`IncrementalCentralDaemonExecutor.run_perturbed`.  A baseline
-  executor re-evaluates all n nodes every round no matter how local the
-  fault; the incremental one only touches the fault's dependency region.
+  ``run_perturbed``.  Full evaluation re-evaluates all n nodes every
+  round no matter how local the fault; the incremental engine only
+  touches the fault's dependency region, and
+* **deep chain** — stabilizing a line topology far deeper than any
+  geometric network, the worst case for SS-SPST-E's ancestor-chain
+  pricing.  The cross-evaluation price-prefix memo makes the chain-step
+  count *linear* in n (it was O(n²) when the memo reset per evaluating
+  node); the recorded ``chain_steps`` pins that.
 
-Both executors must produce bit-identical trajectories; recovery must be
+Both modes must produce bit-identical trajectories; recovery must be
 >= 3x faster at n = 200.
 
-Knobs: ``REPRO_BENCH_INC_N`` (default 200) rescales the topology;
+Knobs: ``REPRO_BENCH_INC_N`` (default 200) rescales the topology,
+``REPRO_BENCH_DEEP_N`` (default 2000) the deep line,
+``REPRO_BENCH_INC_SEEDS`` trims replications (CI quick mode), and
 ``REPRO_BENCH_JSON=dir`` writes a machine-readable ``BENCH_*.json``
 record (the CI perf-trajectory artifact).
 """
@@ -28,25 +38,37 @@ import time
 
 import numpy as np
 
-from repro.core import (
-    CentralDaemonExecutor,
-    IncrementalCentralDaemonExecutor,
-    NodeState,
-    fresh_states,
-    metric_by_name,
-)
+from repro.core import NodeState, RoundEngine, fresh_states, metric_by_name
 from repro.core.examples import EXAMPLE_RADIO
 from repro.graph import Topology
 
 N = int(os.environ.get("REPRO_BENCH_INC_N", "200"))
-SEEDS = (7, 11, 29)
+DEEP_N = int(os.environ.get("REPRO_BENCH_DEEP_N", "2000"))
+DAEMON = "randomized"
+SEEDS = tuple(
+    int(s) for s in os.environ.get("REPRO_BENCH_INC_SEEDS", "7,11,29").split(",") if s
+)
 FAULTS_PER_KIND = 12  # cost corruptions + parent flips per topology
+#: the >= 3x acceptance bar is an n >= 200 property (dirty-set gains
+#: scale with network size); smaller quick-mode topologies get a floor
+#: that still catches a broken dirty set without flaking.
+MIN_RECOVER_X = 3.0 if N >= 200 else 1.5
+
+
+def _engine(topo, metric, incremental, seed):
+    return RoundEngine(
+        topo,
+        metric,
+        daemon=DAEMON,
+        incremental=incremental,
+        rng=np.random.default_rng(seed),
+    )
 
 
 def _sample_settled(seed: int, n: int = N):
-    """A connected geometric topology on which the central daemon
-    converges (the F/E fixed-order limit cycles are a documented
-    instability, not this bench's subject), plus its settled result."""
+    """A connected geometric topology plus its settled result under the
+    randomized daemon (which converges almost surely where fixed orders
+    can limit-cycle)."""
     rng = np.random.default_rng(seed)
     metric = metric_by_name("energy", EXAMPLE_RADIO)
     for _ in range(50):
@@ -55,9 +77,7 @@ def _sample_settled(seed: int, n: int = N):
         topo = Topology.from_positions(pos, 250.0, source=0, members=members)
         if not topo.is_connected():
             continue
-        settled = IncrementalCentralDaemonExecutor(topo, metric).run(
-            fresh_states(topo, metric)
-        )
+        settled = _engine(topo, metric, True, seed).run(fresh_states(topo, metric))
         if settled.converged:
             return topo, metric, settled
     raise RuntimeError(f"no convergent topology for seed {seed}")
@@ -92,9 +112,38 @@ def _assert_identical(a, b):
     assert a.moves == b.moves
 
 
+def _measure_deep_chain():
+    """Stabilize a deep line incrementally; record time and chain steps.
+
+    A full-evaluation counterpart at this depth would be wall-clock
+    prohibitive (that is the point), so the cell gates on the incremental
+    engine's *chain-step linearity* — the deterministic quantity the
+    cross-evaluation price-prefix memo is accountable for — rather than a
+    speedup ratio.
+    """
+    metric = metric_by_name("energy", EXAMPLE_RADIO)
+    edges = {(i, i + 1): 60.0 for i in range(DEEP_N - 1)}
+    topo = Topology.from_edges(
+        DEEP_N, edges, source=0, members=[1, DEEP_N // 2, DEEP_N - 1]
+    )
+    eng = RoundEngine(topo, metric, daemon="central", incremental=True)
+    t0 = time.perf_counter()
+    res = eng.run(fresh_states(topo, metric))
+    elapsed = time.perf_counter() - t0
+    assert res.converged
+    return {
+        "n": DEEP_N,
+        "t_inc": elapsed,
+        "evals_inc": res.evaluations,
+        "chain_steps": res.chain_steps,
+        "chain_steps_per_node": res.chain_steps / DEEP_N,
+    }
+
+
 def _measure():
     stats = {
         "n": N,
+        "daemon": DAEMON,
         "seeds": list(SEEDS),
         "converge": {"t_base": 0.0, "t_inc": 0.0, "evals_base": 0, "evals_inc": 0},
         "recover": {
@@ -110,10 +159,10 @@ def _measure():
         init = fresh_states(topo, metric)
 
         t0 = time.perf_counter()
-        base = CentralDaemonExecutor(topo, metric).run(list(init))
+        base = _engine(topo, metric, False, seed).run(list(init))
         stats["converge"]["t_base"] += time.perf_counter() - t0
         t0 = time.perf_counter()
-        inc = IncrementalCentralDaemonExecutor(topo, metric).run(list(init))
+        inc = _engine(topo, metric, True, seed).run(list(init))
         stats["converge"]["t_inc"] += time.perf_counter() - t0
         _assert_identical(base, inc)
         stats["converge"]["evals_base"] += base.evaluations
@@ -122,17 +171,17 @@ def _measure():
         faults = _faults(topo, metric, settled, seed + 1)
         t0 = time.perf_counter()
         base_res = []
-        for v, ns in faults:
+        for i, (v, ns) in enumerate(faults):
             st = list(settled.states)
             st[v] = ns
-            base_res.append(CentralDaemonExecutor(topo, metric).run(st))
+            base_res.append(_engine(topo, metric, False, seed + i).run(st))
         stats["recover"]["t_base"] += time.perf_counter() - t0
         t0 = time.perf_counter()
         inc_res = [
-            IncrementalCentralDaemonExecutor(topo, metric).run_perturbed(
+            _engine(topo, metric, True, seed + i).run_perturbed(
                 list(settled.states), [fault]
             )
-            for fault in faults
+            for i, fault in enumerate(faults)
         ]
         stats["recover"]["t_inc"] += time.perf_counter() - t0
         for b, i in zip(base_res, inc_res):
@@ -143,7 +192,10 @@ def _measure():
     for phase in ("converge", "recover"):
         p = stats[phase]
         p["speedup"] = p["t_base"] / p["t_inc"]
-        p["evals_ratio"] = p["evals_base"] / p["evals_inc"]
+        # run_perturbed with an already-absorbed fault does zero work, so
+        # the incremental evaluation count can legitimately be 0.
+        p["evals_ratio"] = p["evals_base"] / max(p["evals_inc"], 1)
+    stats["deepline"] = _measure_deep_chain()
     return stats
 
 
@@ -168,13 +220,23 @@ def test_incremental_energy_ablation(benchmark):
             f"  inc {p['t_inc']:6.2f}s / {p['evals_inc']:7d} evals"
             f"  -> {p['speedup']:.2f}x time, {p['evals_ratio']:.1f}x evals"
         )
+    d = stats["deepline"]
+    print(
+        f"deepline  n={d['n']} inc {d['t_inc']:6.2f}s / {d['evals_inc']:5d} evals"
+        f"  chain_steps={d['chain_steps']} ({d['chain_steps_per_node']:.1f}/node)"
+    )
     _emit_json(stats)
     # Convergence gains are modest (dirty sets stay large while the whole
     # tree forms); gate on the deterministic evaluation counts — a
     # wall-clock parity assert would flake on noisy shared runners.
     assert stats["converge"]["evals_inc"] <= stats["converge"]["evals_base"]
-    # Fault recovery is the point of the dirty sets: the acceptance bar.
-    # Measured ~6x time / ~4.5x evals, so 3x keeps real margin; the evals
-    # ratio is deterministic and catches regressions even under noise.
-    assert stats["recover"]["speedup"] >= 3.0
-    assert stats["recover"]["evals_ratio"] >= 3.0
+    # Fault recovery is the point of the dirty sets: the acceptance bar —
+    # incremental randomized-daemon SS-SPST-E >= 3x its full-evaluation
+    # counterpart at n = 200 (measures ~5-6x; smaller quick-mode runs get
+    # a scaled floor).  The evals ratio is deterministic and catches
+    # regressions even under wall-clock noise.
+    assert stats["recover"]["speedup"] >= MIN_RECOVER_X
+    assert stats["recover"]["evals_ratio"] >= MIN_RECOVER_X
+    # Deep-chain linearity: cross-evaluation price-prefix reuse keeps the
+    # chain walk O(n) on a line (it was O(n²) with per-evaluation memos).
+    assert stats["deepline"]["chain_steps"] <= 12 * stats["deepline"]["n"]

@@ -45,9 +45,12 @@ def ascii_plot(
         y_tick = hi - r * (hi - lo) / (height - 1)
         lines.append(f"{y_tick:10.3f} |" + "".join(row))
     lines.append(" " * 11 + "+" + "-" * width)
-    xt = " " * 12 + f"{x_values[0]:g}" + " " * max(
-        1, width - len(f"{x_values[0]:g}") - len(f"{x_values[-1]:g}")
-    ) + f"{x_values[-1]:g}"
+    # categorical axes (e.g. the daemon discipline) label with the raw
+    # string; numeric axes keep compact %g ticks
+    first, last = (
+        x if isinstance(x, str) else f"{x:g}" for x in (x_values[0], x_values[-1])
+    )
+    xt = " " * 12 + first + " " * max(1, width - len(first) - len(last)) + last
     lines.append(xt)
     if x_label:
         lines.append(" " * 12 + x_label)

@@ -18,12 +18,18 @@ Contents:
   (SS-SPST-F), and the proposed overhearing-aware metric (SS-SPST-E);
 * :mod:`repro.core.rules` — the guarded self-stabilizing update rule
   (paper section 5);
-* :mod:`repro.core.rounds` — synchronous and central-daemon round
-  executors with stabilization accounting; the incremental (dirty-set)
-  variants are bit-identical to the baselines for *all four* metrics —
-  SS-SPST-E's chain coupling is localized through the flag-flip reports
-  (subtree seeding) — and expose ``run_perturbed`` for warm-start fault
-  recovery from a settled state;
+* :mod:`repro.core.daemons` — pluggable activation schedulers
+  (synchronous, central, randomized, distributed k-local-parallel,
+  adversarial-max-cost, weakly-fair bounded-delay): the *daemon* the
+  stabilization guarantees are stated against, decomposed from
+  evaluation;
+* :mod:`repro.core.rounds` — the single :class:`~repro.core.rounds.RoundEngine`
+  that evaluates any daemon's schedule with stabilization accounting, in
+  full or incremental (dirty-set) mode; the two modes are bit-identical
+  for *all four* metrics and every daemon — SS-SPST-E's chain coupling is
+  localized through the flag-flip reports (subtree seeding) — and expose
+  ``run_perturbed`` for warm-start fault recovery from a settled state
+  (the pre-decomposition executor names remain as deprecation shims);
 * :mod:`repro.core.legitimacy` — the legitimate-state predicate;
 * :mod:`repro.core.convergence` — Lemma 1-3 checkers (convergence,
   closure, loop-freedom);
@@ -43,7 +49,14 @@ from repro.core.metrics import (
     METRIC_NAMES,
 )
 from repro.core.rules import compute_update, guard_violated, H_MAX
+from repro.core.daemons import (
+    Daemon,
+    DAEMON_NAMES,
+    DES_DAEMON_NAMES,
+    daemon_by_name,
+)
 from repro.core.rounds import (
+    RoundEngine,
     SyncExecutor,
     CentralDaemonExecutor,
     RandomizedDaemonExecutor,
@@ -78,6 +91,11 @@ __all__ = [
     "compute_update",
     "guard_violated",
     "H_MAX",
+    "Daemon",
+    "DAEMON_NAMES",
+    "DES_DAEMON_NAMES",
+    "daemon_by_name",
+    "RoundEngine",
     "SyncExecutor",
     "CentralDaemonExecutor",
     "RandomizedDaemonExecutor",

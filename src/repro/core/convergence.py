@@ -17,14 +17,35 @@ lemma failed and where.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.legitimacy import extract_tree, is_legitimate
 from repro.core.metrics import CostMetric
-from repro.core.rounds import StabilizationResult, _ExecutorBase
+from repro.core.rounds import RoundEngine, StabilizationResult
 from repro.core.rules import H_MAX
 from repro.core.state import NodeState, StateVector
 from repro.graph.topology import Topology
+
+#: an engine instance, or a daemon name to build one from (the daemon
+#: axis of the experiment layer reaches the lemma checkers this way)
+ExecutorLike = Union[RoundEngine, str]
+
+
+def _as_engine(
+    topo: Topology, metric: CostMetric, executor: ExecutorLike
+) -> RoundEngine:
+    """Accept either an engine or a daemon name (deterministic rng)."""
+    if isinstance(executor, str):
+        return RoundEngine(
+            topo,
+            metric,
+            daemon=executor,
+            incremental=True,
+            rng=np.random.default_rng(0),
+        )
+    return executor
 
 
 @dataclass
@@ -38,12 +59,13 @@ class LemmaReport:
 def check_convergence(
     topo: Topology,
     metric: CostMetric,
-    executor: _ExecutorBase,
+    executor: ExecutorLike,
     initial: StateVector,
     max_rounds: Optional[int] = None,
 ) -> LemmaReport:
-    """Lemma 1: the executor reaches a legitimate fixpoint."""
-    result = executor.run(initial, max_rounds=max_rounds)
+    """Lemma 1: the executor (engine or daemon name) reaches a legitimate
+    fixpoint."""
+    result = _as_engine(topo, metric, executor).run(initial, max_rounds=max_rounds)
     if not result.converged:
         return LemmaReport(False, f"no fixpoint within {len(result.cost_history) - 1} rounds")
     if not is_legitimate(topo, metric, result.states):
@@ -60,14 +82,16 @@ def check_convergence(
 def check_closure(
     topo: Topology,
     metric: CostMetric,
-    executor: _ExecutorBase,
+    executor: ExecutorLike,
     stabilized: StateVector,
     extra_rounds: int = 5,
 ) -> LemmaReport:
     """Lemma 2: further rounds leave a legitimate state untouched."""
     if not is_legitimate(topo, metric, stabilized):
         return LemmaReport(False, "input state is not legitimate")
-    result = executor.run(list(stabilized), max_rounds=extra_rounds)
+    result = _as_engine(topo, metric, executor).run(
+        list(stabilized), max_rounds=extra_rounds
+    )
     if result.rounds != 0:
         return LemmaReport(False, f"state moved for {result.rounds} extra rounds")
     same = all(

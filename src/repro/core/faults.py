@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.rounds import StabilizationResult, _ExecutorBase
+from repro.core.rounds import RoundEngine, StabilizationResult  # noqa: F401
 from repro.core.state import NodeState, StateVector
 from repro.graph.topology import Topology
 from repro.util.ids import NodeId

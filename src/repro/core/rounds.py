@@ -1,45 +1,49 @@
-"""Round executors for the self-stabilizing algorithm.
+"""The round engine: one evaluator for every activation daemon.
 
 The paper measures stabilization in *rounds*: "the time period in which
 each node in the system receives at least one beacon message from each of
 its neighbors and performs computation based on its received information"
-(section 2).  Two classic daemons are provided:
+(section 2).  *Which* nodes act within a round — and in what order — is
+the **daemon** (:mod:`repro.core.daemons`); *how* scheduled nodes are
+evaluated is the :class:`RoundEngine`, which comes in two modes:
 
-* :class:`SyncExecutor` — all nodes update simultaneously from the
-  previous round's states (the synchronous daemon; what the paper's
-  round-count examples describe);
-* :class:`CentralDaemonExecutor` — nodes update one at a time in id order
-  within a round, each seeing the freshest states (the central daemon under
-  which Dijkstra-style proofs are usually stated; also closest to the DES
-  protocol, where jittered beacons serialize updates).
+* **full** — every scheduled node is evaluated every round (the baseline
+  the proofs talk about);
+* **incremental** — only scheduled nodes in the **dirty set** are
+  evaluated: the nodes whose dependency region changed since they were
+  last evaluated.  For the locally-coupled metrics (hop, tx, farthest)
+  the region is a ``dependency_radius``-hop closure around the endpoints
+  of each change (see :class:`~repro.core.metrics.CostMetric`).  The
+  chain-coupled SS-SPST-E metric reads, at every evaluation, the whole
+  ancestor chains of the candidate parents — so a change reaches exactly
+  the nodes *adjacent to the subtrees* of the touched tree positions:
+  the moved node, both parent endpoints, and every ancestor whose member
+  flag flipped (reported by :meth:`~repro.core.views.GlobalView.apply`).
+  When the view cannot localize a change (parent cycles in illegitimate
+  states), the engine degenerates gracefully to a full dirty set for
+  that change.
 
-Both track the per-round total cost (the Lyapunov quantity of Lemma 1) and
-stop at a fixpoint.
+For every daemon the two modes produce **bit-identical trajectories**
+(states, rounds, cost history, moves): a node outside the dirty set
+recomputes exactly the state it already holds, so skipping it cannot
+alter any round's outcome.
 
-The incremental variants — :class:`IncrementalSyncExecutor` and
-:class:`IncrementalCentralDaemonExecutor` — compute *bit-identical*
-trajectories (states, rounds, cost history, moves) while only
-re-evaluating a **dirty set**: the nodes whose dependency region changed
-since they were last evaluated.  For the locally-coupled metrics (hop,
-tx, farthest) the region is a ``dependency_radius``-hop closure around
-the endpoints of each change (see
-:class:`~repro.core.metrics.CostMetric`).  The chain-coupled SS-SPST-E
-metric reads, at every evaluation, the whole ancestor chains of the
-candidate parents — so a change reaches exactly the nodes *adjacent to
-the subtrees* of the touched tree positions: the moved node, both parent
-endpoints, and every ancestor whose member flag flipped (reported by
-:meth:`~repro.core.views.GlobalView.apply`).  When the view cannot
-localize a change (parent cycles in illegitimate states), the executors
-degenerate gracefully to a full dirty set for that change.
+The pre-decomposition executor names (``SyncExecutor``,
+``CentralDaemonExecutor``, ``RandomizedDaemonExecutor``,
+``IncrementalSyncExecutor``, ``IncrementalCentralDaemonExecutor``)
+remain importable as thin shims over ``RoundEngine`` so existing callers
+keep working; new code should say
+``RoundEngine(topo, metric, daemon="central", incremental=True)``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro.core.daemons import Daemon, RoundContext, daemon_by_name
 from repro.core.metrics import CostMetric
 from repro.core.rules import COST_TOL, H_MAX, compute_update
 from repro.core.state import NodeState, StateVector
@@ -93,16 +97,25 @@ def arbitrary_states(
 
 @dataclass
 class StabilizationResult:
-    """Outcome of running an executor to fixpoint."""
+    """Outcome of running an engine to fixpoint."""
 
     states: StateVector
     rounds: int
     converged: bool
     cost_history: List[float] = field(default_factory=list)
     moves: int = 0  # total individual state changes applied
-    #: rule evaluations performed (diagnostic; the quantity the dirty-set
-    #: executors shrink — baselines always evaluate n nodes per round)
+    #: rule evaluations spent *stabilizing*: evaluations in rounds that
+    #: moved at least one node.  The trailing move-free pass(es) that
+    #: certify the fixpoint are a convergence check, not work — the
+    #: incremental engine may short-circuit them entirely (empty dirty
+    #: set), so counting them made the full and incremental diagnostics
+    #: disagree by exactly n on the final round.  Runs that exhaust
+    #: ``max_rounds`` without converging count every evaluation.
     evaluations: int = 0
+    #: ancestor steps walked by SS-SPST-E chain pricing (diagnostic; the
+    #: quantity the cross-evaluation price-prefix memo shrinks — always 0
+    #: for metrics without chain coupling)
+    chain_steps: int = 0
 
     def tree(self, topo: Topology) -> TreeAssignment:
         """Extract the parent assignment as a validated tree."""
@@ -114,11 +127,45 @@ def total_cost(states: Sequence[NodeState], cap: float) -> float:
     return float(sum(min(s.cost, cap) for s in states))
 
 
-class _ExecutorBase:
-    def __init__(self, topo: Topology, metric: CostMetric) -> None:
+class RoundEngine:
+    """Evaluate a daemon's activation schedule to a fixpoint.
+
+    Parameters
+    ----------
+    daemon:
+        A :class:`~repro.core.daemons.Daemon` instance or registry name
+        (``"synchronous"``, ``"central"``, ``"randomized"``,
+        ``"distributed"``, ``"adversarial-max-cost"``, ``"weakly-fair"``).
+    incremental:
+        Dirty-set evaluation (bit-identical to full evaluation, usually
+        much cheaper once the system is mostly settled).
+    rng:
+        Feeds stochastic daemons when ``daemon`` is given by name.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        metric: CostMetric,
+        daemon: Union[str, Daemon] = "synchronous",
+        *,
+        incremental: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        **daemon_options,
+    ) -> None:
         self.topo = topo
         self.metric = metric
+        if isinstance(daemon, Daemon):
+            if daemon_options:
+                raise ValueError("daemon options require a daemon given by name")
+            self.daemon = daemon
+        else:
+            self.daemon = daemon_by_name(daemon, rng=rng, **daemon_options)
+        self.incremental = bool(incremental)
 
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
     def run(
         self,
         states: StateVector,
@@ -129,118 +176,9 @@ class _ExecutorBase:
         ``rounds`` in the result counts rounds in which at least one node
         changed state — the paper's "takes k rounds to stabilize".
         """
-        if max_rounds is None:
-            max_rounds = 4 * self.topo.n + 16
-        cap = self.metric.infinity(self.topo)
-        states = list(states)
-        history = [total_cost(states, cap)]
-        moves = 0
-        rounds = 0
-        evaluations = 0
-        for _ in range(max_rounds):
-            states, changed, n_moves = self._round(states)
-            history.append(total_cost(states, cap))
-            evaluations += self.topo.n
-            if not changed:
-                return StabilizationResult(
-                    states=states,
-                    rounds=rounds,
-                    converged=True,
-                    cost_history=history,
-                    moves=moves,
-                    evaluations=evaluations,
-                )
-            rounds += 1
-            moves += n_moves
-        return StabilizationResult(
-            states=states,
-            rounds=rounds,
-            converged=False,
-            cost_history=history,
-            moves=moves,
-            evaluations=evaluations,
-        )
-
-    def _round(self, states: StateVector):
-        raise NotImplementedError
-
-
-class SyncExecutor(_ExecutorBase):
-    """All nodes move simultaneously from the previous round's snapshot."""
-
-    def _round(self, states: StateVector):
         view = GlobalView(self.topo, states)
-        new_states: StateVector = []
-        moves = 0
-        for v in range(self.topo.n):
-            ns = compute_update(self.topo, self.metric, view, v)
-            if not ns.approx_equals(states[v], tol=COST_TOL):
-                moves += 1
-            new_states.append(ns)
-        return new_states, moves > 0, moves
-
-
-class CentralDaemonExecutor(_ExecutorBase):
-    """Nodes move one at a time (id order), seeing the freshest states.
-
-    One :class:`GlobalView` is maintained per round and moves are applied
-    to it in place — previously a full view (children + flags) was
-    re-derived for every node, O(n²) work per round.
-    """
-
-    def _round(self, states: StateVector):
-        view = GlobalView(self.topo, states)
-        moves = 0
-        for v in range(self.topo.n):
-            ns = compute_update(self.topo, self.metric, view, v)
-            if not ns.approx_equals(view.states[v], tol=COST_TOL):
-                view.apply(v, ns)
-                moves += 1
-        return view.states, moves > 0, moves
-
-
-class RandomizedDaemonExecutor(_ExecutorBase):
-    """Central daemon with a fresh random node order every round.
-
-    Strictly-improving local moves under the F/E metrics are not an exact
-    potential game (a move changes *other* nodes' marginal costs), so a
-    fixed activation order can enter a limit cycle in rare adversarial
-    states.  Randomizing the order — which is what jittered beacon timing
-    does in the real protocol — escapes such cycles almost surely; this is
-    the executor the property-based convergence tests use for SS-SPST-E.
-    """
-
-    def __init__(self, topo: Topology, metric: CostMetric, rng: np.random.Generator) -> None:
-        super().__init__(topo, metric)
-        self.rng = rng
-
-    def _round(self, states: StateVector):
-        view = GlobalView(self.topo, states)
-        moves = 0
-        for v in self.rng.permutation(self.topo.n):
-            v = int(v)
-            ns = compute_update(self.topo, self.metric, view, v)
-            if not ns.approx_equals(view.states[v], tol=COST_TOL):
-                view.apply(v, ns)
-                moves += 1
-        return view.states, moves > 0, moves
-
-
-class _IncrementalBase(_ExecutorBase):
-    """Shared dirty-set machinery and run loop for the incremental
-    executors.  Subclasses implement :meth:`_round_incremental`, which
-    plays one round over the current dirty set and returns
-    ``(n_moves, next_dirty)``; everything else — history, round/move
-    accounting, convergence — matches :meth:`_ExecutorBase.run` so the
-    trajectories stay bit-identical to the baselines."""
-
-    def run(
-        self,
-        states: StateVector,
-        max_rounds: Optional[int] = None,
-    ) -> StabilizationResult:
-        view = GlobalView(self.topo, states)
-        return self._run_from(view, set(range(self.topo.n)), max_rounds)
+        dirty = set(range(self.topo.n)) if self.incremental else None
+        return self._run_from(view, dirty, max_rounds)
 
     def run_perturbed(
         self,
@@ -255,17 +193,23 @@ class _IncrementalBase(_ExecutorBase):
         on top of ``settled_states``.  Because the changes enter through
         :meth:`GlobalView.apply`, their reach is known exactly and the
         initial dirty set is the changes' dependency region instead of the
-        whole network — this is where the dirty-set executors beat the
-        baselines by orders of magnitude (a baseline executor re-evaluates
-        every node every round no matter how local the fault).
+        whole network — this is where the incremental mode beats full
+        evaluation by orders of magnitude (full evaluation re-evaluates
+        every scheduled node every round no matter how local the fault).
 
         The trajectory is bit-identical to ``run()`` on the perturbed
         vector **provided ``settled_states`` was a fixpoint** (then every
         node outside the affected region would recompute exactly the state
         it already holds).  Resuming from a non-fixpoint vector violates
-        that contract and may skip pending moves.
+        that contract and may skip pending moves.  In full mode this is
+        simply ``run()`` on the perturbed vector.
         """
         view = GlobalView(self.topo, settled_states)
+        if not self.incremental:
+            for v, new_state in perturbations:
+                if new_state != view.states[v]:
+                    view.apply(v, new_state)
+            return self._run_from(view, None, max_rounds)
         if getattr(self.metric, "path_couples_to_children", False):
             # Materialize flags/counters up front so the applies below can
             # report their flag flips (a parent-moving apply on a view
@@ -273,7 +217,7 @@ class _IncrementalBase(_ExecutorBase):
             # Locally-coupled metrics never read flags — skip the O(n·depth)
             # derivation for them.
             view.flag_of(0)
-        dirty: set = set()
+        dirty: Set[int] = set()
         for v, new_state in perturbations:
             old = view.states[v]
             if new_state == old:
@@ -282,30 +226,50 @@ class _IncrementalBase(_ExecutorBase):
             dirty |= self._affected(view, [(v, old, new_state)], [report])
         return self._run_from(view, dirty, max_rounds)
 
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
     def _run_from(
         self,
         view: GlobalView,
-        dirty: set,
+        dirty: Optional[Set[int]],
         max_rounds: Optional[int] = None,
     ) -> StabilizationResult:
         if max_rounds is None:
             max_rounds = 4 * self.topo.n + 16
+        daemon = self.daemon
+        daemon.reset(self.topo.n)
         cap = self.metric.infinity(self.topo)
         states = view.states  # the view owns the working copy
         history = [total_cost(states, cap)]
         moves = 0
         rounds = 0
         evaluations = 0
+        quiet_rounds = 0
+        quiet_evals = 0
         converged = False
-        for _ in range(max_rounds):
-            n_moves, n_evals, dirty = self._round_incremental(view, dirty)
+        for round_no in range(max_rounds):
+            n_moves, n_evals, dirty = self._play_round(view, dirty, round_no)
             history.append(total_cost(states, cap))
-            evaluations += n_evals
             if n_moves == 0:
-                converged = True
-                break
-            rounds += 1
-            moves += n_moves
+                # A move-free round only *certifies* a fixpoint once the
+                # daemon's quiescence window is full (a partial daemon may
+                # simply not have scheduled any enabled node); its
+                # evaluations are check-pass work and are discarded on
+                # successful convergence.
+                quiet_rounds += 1
+                quiet_evals += n_evals
+                if quiet_rounds >= daemon.quiescence_rounds:
+                    converged = True
+                    break
+            else:
+                evaluations += quiet_evals + n_evals
+                quiet_evals = 0
+                quiet_rounds = 0
+                rounds += 1
+                moves += n_moves
+        if not converged:
+            evaluations += quiet_evals
         return StabilizationResult(
             states=states,
             rounds=rounds,
@@ -313,12 +277,110 @@ class _IncrementalBase(_ExecutorBase):
             cost_history=history,
             moves=moves,
             evaluations=evaluations,
+            chain_steps=view.chain_steps,
         )
 
-    def _round_incremental(self, view: GlobalView, dirty: set):
-        raise NotImplementedError
+    # ------------------------------------------------------------------
+    # One round
+    # ------------------------------------------------------------------
+    def _play_round(
+        self, view: GlobalView, dirty: Optional[Set[int]], round_no: int
+    ) -> Tuple[int, int, Optional[Set[int]]]:
+        """Play one round; returns ``(n_moves, n_evals, next_dirty)``.
 
-    def _affected(self, view: GlobalView, changes, reports=None) -> set:
+        ``dirty is None`` selects full evaluation.  The incremental
+        bookkeeping mirrors what the daemon would let each node *see*:
+        when a change dirties a node whose activation step is still ahead
+        in this round's schedule, it is re-marked for the current round
+        (it would have read the fresh state anyway); nodes whose step
+        already passed — or that are not scheduled at all this round —
+        carry over to the next round.
+        """
+        if self.daemon.adaptive:
+            return self._play_adaptive_round(view, dirty, round_no)
+
+        ctx = RoundContext(self, view, dirty, round_no)
+        steps = [
+            tuple(int(v) for v in step) for step in self.daemon.round_steps(ctx)
+        ]
+        pos = {}
+        if dirty is not None:  # only the in-round re-dirty logic reads pos
+            for i, step in enumerate(steps):
+                for v in step:
+                    pos[v] = i
+        next_dirty: Optional[Set[int]] = set() if dirty is not None else None
+        n_moves = 0
+        n_evals = 0
+        parallel = self.daemon.parallel
+        overwrite = self.daemon.overwrite
+        for i, step in enumerate(steps):
+            # Snapshot semantics: every update in the step is computed
+            # from the step-start view, then all are applied.  (A 1-node
+            # step makes the snapshot distinction vacuous, so serial
+            # daemons flow through the same code path; only the write
+            # policy differs — see ``overwrite``.)
+            evaluated = []
+            for v in step:
+                if dirty is not None:
+                    if v not in dirty:
+                        continue
+                    dirty.discard(v)
+                old = view.states[v]
+                ns = compute_update(self.topo, self.metric, view, v)
+                n_evals += 1
+                evaluated.append((v, old, ns))
+            for v, old, ns in evaluated:
+                genuine = not ns.approx_equals(old, tol=COST_TOL)
+                if genuine:
+                    n_moves += 1
+                elif not (parallel and overwrite and ns != old):
+                    continue  # no move; silent rewrites only when overwriting
+                # Affected sets are computed per change, immediately after
+                # its apply: single-step reader analysis is exact (flags
+                # and parents are read in the world the change produced),
+                # and the union over steps covers the whole batch.
+                report = view.apply(v, ns)
+                if dirty is not None:
+                    for w in self._affected(view, [(v, old, ns)], [report]):
+                        if pos.get(w, -1) > i:
+                            dirty.add(w)
+                        else:
+                            next_dirty.add(w)
+        if dirty is not None:
+            # Dirty nodes the daemon never scheduled this round stay dirty.
+            next_dirty |= dirty
+        return n_moves, n_evals, next_dirty
+
+    def _play_adaptive_round(
+        self, view: GlobalView, dirty: Optional[Set[int]], round_no: int
+    ) -> Tuple[int, int, Optional[Set[int]]]:
+        """Adaptive daemons read the live view while scheduling, so the
+        round is driven lazily: each yielded step is applied before the
+        daemon is re-entered.  Evaluation happens through the context's
+        probe memo (shared with the daemon's own enabled-node scans), and
+        the dirty set is maintained step by step: probed-clean nodes drop
+        out, each applied change re-dirties its affected region."""
+        ctx = RoundContext(self, view, dirty, round_no)
+        n_moves = 0
+        for step in self.daemon.round_steps(ctx):
+            for v in step:
+                old = view.states[v]
+                ns = ctx.probe(v)
+                if ns.approx_equals(old, tol=COST_TOL):
+                    continue  # the daemon scheduled a node that is clean
+                report = view.apply(v, ns)
+                n_moves += 1
+                if dirty is not None:
+                    dirty -= ctx.probed_clean
+                    dirty.discard(v)
+                    dirty |= self._affected(view, [(v, old, ns)], [report])
+                ctx.flush_probes()
+        if dirty is not None:
+            dirty -= ctx.probed_clean
+        return n_moves, ctx.evaluations, dirty
+
+    # ------------------------------------------------------------------
+    def _affected(self, view: GlobalView, changes, reports=None) -> Set[int]:
         """Nodes whose next update may differ after the given changes.
 
         ``changes`` is an iterable of ``(v, old_state, new_state)``;
@@ -388,73 +450,45 @@ class _IncrementalBase(_ExecutorBase):
         return out
 
 
-class IncrementalSyncExecutor(_IncrementalBase):
-    """Dirty-set variant of :class:`SyncExecutor`.
-
-    Produces a bit-identical trajectory (states, rounds, cost history,
-    moves) while only re-evaluating nodes whose dependency region changed
-    in the previous round.  Soundness: a node outside the region of every
-    change recomputes exactly the state it already holds, so skipping it
-    cannot alter the round's outcome.  To mirror ``SyncExecutor``'s
-    overwrite semantics exactly, a re-evaluated node's state is replaced
-    even when the change is within the move tolerance; such silent
-    rewrites propagate through the dirty set but do not count as moves.
-    """
-
-    def _round_incremental(self, view: GlobalView, dirty: set):
-        # Snapshot semantics: compute every dirty node's update from the
-        # pre-round view, then apply them all at once.
-        states = view.states
-        changes = []
-        n_moves = 0
-        n_evals = 0
-        for v in sorted(dirty):
-            old = states[v]
-            ns = compute_update(self.topo, self.metric, view, v)
-            n_evals += 1
-            if ns != old:
-                changes.append((v, old, ns))
-            if not ns.approx_equals(old, tol=COST_TOL):
-                n_moves += 1
-        # Affected sets are computed per change, immediately after its
-        # apply: single-step reader analysis is exact (flags and parents
-        # are read in the world the change produced), and the union over
-        # steps covers the whole batch.
-        next_dirty: set = set()
-        for v, old, ns in changes:
-            report = view.apply(v, ns)
-            next_dirty |= self._affected(view, [(v, old, ns)], [report])
-        return n_moves, n_evals, next_dirty
+#: backwards-compatible alias (pre-decomposition private base class name)
+_ExecutorBase = RoundEngine
 
 
-class IncrementalCentralDaemonExecutor(_IncrementalBase):
-    """Dirty-set variant of :class:`CentralDaemonExecutor`.
+# ----------------------------------------------------------------------
+# Deprecated executor shims
+# ----------------------------------------------------------------------
+class SyncExecutor(RoundEngine):
+    """Deprecated: ``RoundEngine(topo, metric, daemon="synchronous")``."""
 
-    Nodes still activate in id order seeing the freshest states, but a
-    node is evaluated only while it is dirty.  When an activation changes
-    state, the affected nodes with higher ids are re-marked for the rest
-    of this round (they would have seen the fresh state anyway) and the
-    rest for the next round — exactly reproducing the baseline's
-    trajectory, since the central daemon only writes genuine moves.
-    """
+    def __init__(self, topo: Topology, metric: CostMetric) -> None:
+        super().__init__(topo, metric, daemon="synchronous")
 
-    def _round_incremental(self, view: GlobalView, dirty: set):
-        states = view.states
-        next_dirty: set = set()
-        n_moves = 0
-        n_evals = 0
-        for v in range(self.topo.n):
-            if v not in dirty:
-                continue
-            old = states[v]
-            ns = compute_update(self.topo, self.metric, view, v)
-            n_evals += 1
-            if not ns.approx_equals(old, tol=COST_TOL):
-                report = view.apply(v, ns)
-                n_moves += 1
-                for w in self._affected(view, [(v, old, ns)], [report]):
-                    if w > v:
-                        dirty.add(w)
-                    else:
-                        next_dirty.add(w)
-        return n_moves, n_evals, next_dirty
+
+class CentralDaemonExecutor(RoundEngine):
+    """Deprecated: ``RoundEngine(topo, metric, daemon="central")``."""
+
+    def __init__(self, topo: Topology, metric: CostMetric) -> None:
+        super().__init__(topo, metric, daemon="central")
+
+
+class RandomizedDaemonExecutor(RoundEngine):
+    """Deprecated: ``RoundEngine(topo, metric, daemon="randomized", rng=rng)``."""
+
+    def __init__(
+        self, topo: Topology, metric: CostMetric, rng: np.random.Generator
+    ) -> None:
+        super().__init__(topo, metric, daemon="randomized", rng=rng)
+
+
+class IncrementalSyncExecutor(RoundEngine):
+    """Deprecated: ``RoundEngine(..., daemon="synchronous", incremental=True)``."""
+
+    def __init__(self, topo: Topology, metric: CostMetric) -> None:
+        super().__init__(topo, metric, daemon="synchronous", incremental=True)
+
+
+class IncrementalCentralDaemonExecutor(RoundEngine):
+    """Deprecated: ``RoundEngine(..., daemon="central", incremental=True)``."""
+
+    def __init__(self, topo: Topology, metric: CostMetric) -> None:
+        super().__init__(topo, metric, daemon="central", incremental=True)

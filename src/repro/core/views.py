@@ -171,13 +171,27 @@ class GlobalView(NodeView):
         self._fcnt: Optional[List[int]] = None  # per-node flagged-children count
         self._n_cycles = _count_parent_cycles(self.states)
         self._flags_excl: Dict[NodeId, Sequence[bool]] = {}
-        # Per-evaluation chain-price memo: ``(w, carried_flag) -> price`` of
+        # Per-evaluation chain-price memo: ``w -> {carried_flag: price}`` of
         # w's upstream chain in the owner's detached world.  Candidates of
         # one evaluating node share chain prefixes (all chains converge
         # toward the root), so one evaluation walks each chain segment once
         # instead of once per candidate.  Any apply() invalidates it.
-        self._price_memo: Dict[Tuple[NodeId, bool], float] = {}
+        self._price_memo: Dict[NodeId, Dict[bool, float]] = {}
         self._price_memo_owner: Optional[NodeId] = None
+        # Cross-evaluation chain-price memo: same layout, but priced in the
+        # *live* world and therefore shared by every evaluating node whose
+        # detachment is invisible to chain reads (disconnected or unflagged
+        # evaluators — the common case).  Unlike the per-evaluation memo it
+        # survives apply(): only the prices of the *subtrees of the touched
+        # tree positions* (the changed node, flagged endpoints, flag-flipped
+        # ancestors and their parents — the flag-flip report again) are
+        # dropped, so deep-chain stabilization walks each settled prefix
+        # once instead of once per evaluation (O(n) chain steps on a line
+        # instead of O(n²)).
+        self._chain_memo: Dict[NodeId, Dict[bool, float]] = {}
+        #: diagnostic: total ancestor steps walked by :meth:`path_price`
+        #: (what the chain memos shrink; read by the ablation bench)
+        self.chain_steps: int = 0
         #: static per-(node, radius) node-cost values, filled by
         #: :meth:`EnergyAwareMetric.node_cost_at_radius`; never invalidated
         #: (the underlying topology is immutable).
@@ -223,6 +237,12 @@ class GlobalView(NodeView):
             self.states[v] = new_state
             self._price_memo.clear()
             self._price_memo_owner = None
+            if old.parent is None and new_state.cost != old.cost:
+                # Chain walks read a node's advertised cost only at a
+                # disconnected chain head; prices of everything routing
+                # through v are stale.  Attached cost changes are invisible
+                # to chain pricing (it re-derives marginals from radii).
+                self._drop_chain_prices((v,))
             return ()
 
         p_old, p_new = old.parent, new_state.parent
@@ -255,20 +275,43 @@ class GlobalView(NodeView):
             # sound.  Re-derive lazily and report "unknown".
             self._flags_cache = None
             self._fcnt = None
+            self._chain_memo.clear()
             return None
         if self._flags_cache is None or self._fcnt is None:
+            self._chain_memo.clear()
             return None  # flags never materialized: nothing to maintain
 
         # Acyclic before and after: v's own flag depends only on its own
         # children (unchanged), so only the two ancestor chains can flip.
         if not self._flags_cache[v]:
+            # An unflagged child is invisible to flagged radii and flag
+            # scans: only chains routing *through v* are repriced.
+            self._drop_chain_prices((v,))
             return ()
         flips: List[NodeId] = []
         if p_old is not None:
             self._dec_flag_chain(p_old, flips)
         if p_new is not None:
             self._inc_flag_chain(p_new, flips)
+        # Stale chain prices: exactly the subtrees of the touched positions
+        # (mirrors the reader analysis of the incremental engine's
+        # ``_affected``) — v's own chain moved, the endpoints' flagged
+        # radii changed, and every flip rewrote a flag its parent's radius
+        # and descendants' prices read.
+        stale = {v, p_old, p_new}
+        for f in flips:
+            stale.add(f)
+            stale.add(self.states[f].parent)
+        stale.discard(None)
+        self._drop_chain_prices(stale)
         return tuple(flips)
+
+    def _drop_chain_prices(self, roots: Iterable[NodeId]) -> None:
+        """Invalidate shared chain prices of the subtrees under ``roots``."""
+        if not self._chain_memo:
+            return
+        for w in self.collect_subtrees(roots):
+            self._chain_memo.pop(w, None)
 
     def _on_own_cycle(self, v: NodeId) -> bool:
         """Whether following parent pointers from ``v`` returns to ``v``."""
@@ -392,6 +435,40 @@ class GlobalView(NodeView):
     def flag_excluding(self, u: NodeId, v: NodeId) -> bool:
         return bool(self.flags_excluding(v)[u])
 
+    def _detach_neutral(self, v: NodeId, flags: Sequence[bool]) -> bool:
+        """Whether detaching ``v`` is invisible to *every* chain-walk read.
+
+        Chain walks read, at each ancestor step into ``p``: ``p``'s
+        children flags and flagged radius with the chain predecessor ``w``
+        (and ``v``) excluded.  Detaching ``v`` changes those reads only
+
+        * at ``parent(v)`` — and only when ``v`` carries a flag — or
+        * at the parents of the ``off`` prefix (ancestors whose flag the
+          detachment turns off),
+
+        and in both cases only for walks whose predecessor ``w`` is *not*
+        the affected child (a walk's own predecessor is always excluded
+        anyway).  When every affected node is its parent's only child —
+        the entire class of chain/line structures, and any evaluator that
+        is disconnected or unflagged — no such walk exists: every price is
+        the live-world price, so evaluations may share one memo
+        (``_chain_memo``).  Cyclic states are never neutral (counter
+        maintenance is untrusted there).
+        """
+        if self._n_cycles:
+            return False
+        st = self.states[v]
+        if st.parent is None or not flags[v]:
+            return True
+        if len(self._children[st.parent]) != 1:
+            return False
+        off = flags.off if isinstance(flags, _DetachedFlags) else ()
+        for o in off:
+            p = self.states[o].parent
+            if p is not None and len(self._children[p]) != 1:
+                return False
+        return True
+
     def _radius_excluding(
         self, u: NodeId, exclude, flags: Sequence[bool], flagged_only: bool
     ) -> float:
@@ -412,9 +489,16 @@ class GlobalView(NodeView):
         Guards against parent cycles (possible in arbitrary illegitimate
         states) by falling back to the advertised cost when a node repeats,
         and never recurses — line topologies deeper than the interpreter's
-        recursion limit are fine.  Chain-price prefixes are memoized per
-        evaluating node (see ``_price_memo``), so evaluating all of ``v``'s
-        candidates costs one walk over the union of their chains.
+        recursion limit are fine.  Chain-price prefixes are memoized, so
+        evaluating all of ``v``'s candidates costs one walk over the union
+        of their chains.  When ``v``'s detachment is invisible to every
+        chain read — ``v`` disconnected, or unflagged (an unflagged child
+        contributes to no flagged radius and no flag scan) — the prices
+        equal their live-world values and go into the *cross-evaluation*
+        memo (``_chain_memo``), which survives until an apply() touches
+        the priced subtrees; flagged attached evaluators fall back to the
+        per-evaluation memo (``_price_memo``), whose prefixes are valid
+        only in their own detached world.
         """
         if not getattr(metric, "path_couples_to_children", False):
             return self.states[u].cost
@@ -423,12 +507,17 @@ class GlobalView(NodeView):
         flag_u = self.member(u) or v_flag or any(
             flags[c] for c in self._children[u] if c != v
         )
-        if self._price_memo_owner != v:
+        if self._detach_neutral(v, flags):
+            # Detaching v changes nothing any chain walk reads: prices are
+            # live-world values, shared across evaluating nodes.
+            memo = self._chain_memo
+        elif self._price_memo_owner == v:
+            memo = self._price_memo
+        else:
             # New evaluating node: prior prefixes were priced in a
             # different detached world.
-            self._price_memo = {}
+            self._price_memo = memo = {}
             self._price_memo_owner = v
-        memo = self._price_memo
         states, children, topo = self.states, self._children, self.topo
         member_of = topo.members
         edge_dist = self._edge_dist
@@ -438,18 +527,20 @@ class GlobalView(NodeView):
         pending: List[Tuple[Tuple[NodeId, bool], float]] = []
         cacheable = True
         while True:
-            base = memo.get((w, flag_w))
+            by_flag = memo.get(w)
+            base = None if by_flag is None else by_flag.get(flag_w)
             if base is not None:
                 break
             if w == topo.source:
                 base = 0.0
-                memo[(w, flag_w)] = base
+                memo.setdefault(w, {})[flag_w] = base
                 break
             p = states[w].parent
             if p is None:
                 base = states[w].cost  # disconnected: advertised OC_max
-                memo[(w, flag_w)] = base
+                memo.setdefault(w, {})[flag_w] = base
                 break
+            self.chain_steps += 1
             # Marginal cost p pays to cover w (w's attachment is being
             # priced, so w itself is excluded from p's baseline radius;
             # v is detached everywhere in this world, so exclude it too).
@@ -488,8 +579,8 @@ class GlobalView(NodeView):
         # every candidate prices cycles from its own walk (the pre-memo
         # per-candidate semantics).
         price = base
-        for key, delta in reversed(pending):
+        for (kw, kf), delta in reversed(pending):
             price += delta
             if cacheable:
-                memo[key] = price
+                memo.setdefault(kw, {})[kf] = price
         return price

@@ -27,6 +27,11 @@ holding the schema version, the exact config, the
 :class:`~repro.metrics.hub.RunSummary` fields and the runner diagnostics.
 Files are written atomically (tmp + rename) so a killed campaign never
 leaves a truncated record behind.
+
+Distributed campaigns: ``--shard I/K`` executes only a deterministic
+config-hash partition of the runs, so K machines sharing a cache dir
+split one campaign without coordination (see :func:`shard_of`); a final
+un-sharded invocation assembles everything from cache.
 """
 
 from __future__ import annotations
@@ -65,21 +70,50 @@ _DIAGNOSTIC_FIELDS = (
 # ----------------------------------------------------------------------
 # Config identity
 # ----------------------------------------------------------------------
+#: fields added to ScenarioConfig *after* caches existed in the wild,
+#: mapped to the behavior-neutral default they were introduced with.  At
+#: that default the field is dropped from the hash payload (and patched
+#: into stored records on load), so every pre-existing cache entry — and
+#: every campaign hash — stays valid; only non-default values fork new
+#: cache cells.
+_HASH_NEUTRAL_DEFAULTS: Dict[str, object] = {"daemon": "distributed"}
+
+
+def _hash_payload(config: ScenarioConfig) -> Dict[str, object]:
+    payload = dataclasses.asdict(config)
+    for name, default in _HASH_NEUTRAL_DEFAULTS.items():
+        if payload.get(name) == default:
+            del payload[name]
+    return payload
+
+
 def config_key(config: ScenarioConfig) -> str:
     """Stable content hash of a scenario config.
 
     Canonical JSON (sorted keys, exact float repr) of every dataclass
     field, prefixed with the cache schema version.  Two configs collide
     iff they are field-for-field identical, so the hash is a safe cache
-    key across processes and sessions.
+    key across processes and sessions.  Later-added fields are dropped at
+    their defaults (see ``_HASH_NEUTRAL_DEFAULTS``) so old caches keep
+    hitting.
     """
     payload = json.dumps(
-        dataclasses.asdict(config), sort_keys=True, separators=(",", ":")
+        _hash_payload(config), sort_keys=True, separators=(",", ":")
     )
     digest = hashlib.sha256(
         f"v{CACHE_SCHEMA}:{payload}".encode("utf-8")
     ).hexdigest()
     return digest[:24]
+
+
+def shard_of(config: ScenarioConfig, n_shards: int) -> int:
+    """Deterministic shard assignment by config hash.
+
+    Stable across machines and campaign compositions (it depends on the
+    run's identity alone), so K workers pointing ``--shard i/K`` at one
+    shared cache dir partition any campaign without coordination.
+    """
+    return int(config_key(config), 16) % n_shards
 
 
 # ----------------------------------------------------------------------
@@ -128,8 +162,14 @@ class ResultCache:
             return None
         if record.get("schema") != CACHE_SCHEMA:
             return None
-        if record.get("config") != dataclasses.asdict(config):
+        stored = record.get("config")
+        if isinstance(stored, dict):
+            # Records written before a hash-neutral field existed lack it;
+            # they describe the default behavior by construction.
+            stored = {**_HASH_NEUTRAL_DEFAULTS, **stored}
+        if stored != dataclasses.asdict(config):
             return None  # hash collision or hand-edited file
+        record["config"] = stored
         return record
 
     def store(self, config: ScenarioConfig, record: dict) -> str:
@@ -234,27 +274,37 @@ def _execute_indexed(payload: Tuple[int, ScenarioConfig]) -> Tuple[int, dict]:
 
 @dataclass
 class CampaignResult:
-    """All runs of a campaign plus cache accounting."""
+    """All runs of a campaign plus cache accounting.
+
+    ``results`` is aligned with ``spec.configs()``; entries are ``None``
+    for runs outside this invocation's shard that no cache could supply
+    (``skipped`` counts them).  Aggregation works over whatever is
+    present, so a shard can still print its partial table.
+    """
 
     spec: CampaignSpec
-    results: List[RunResult]  # aligned with spec.configs()
+    results: List[Optional[RunResult]]  # aligned with spec.configs()
     executed: int = 0
     cache_hits: int = 0  # disk-cache hits
     memo_hits: int = 0  # in-memory memo hits
+    skipped: int = 0  # out-of-shard runs left to other machines
     elapsed_s: float = 0.0
 
     # ------------------------------------------------------------------
     def by_cell(self) -> Dict[Tuple[str, Tuple], List[RunResult]]:
-        """Seed replications grouped per (protocol, grid point) cell.
+        """Available seed replications grouped per (protocol, grid point)
+        cell.
 
         The point is keyed by its ``(field, value)`` tuple so cells stay
-        hashable; iteration order follows the spec.
+        hashable; iteration order follows the spec.  Skipped
+        (out-of-shard, uncached) runs are absent from the lists.
         """
         out: Dict[Tuple[str, Tuple], List[RunResult]] = {}
         i = 0
         for proto, point in self.spec.cells():
             key = (proto, tuple(point.items()))
-            out[key] = self.results[i : i + len(self.spec.seeds)]
+            chunk = self.results[i : i + len(self.spec.seeds)]
+            out[key] = [r for r in chunk if r is not None]
             i += len(self.spec.seeds)
         return out
 
@@ -264,7 +314,8 @@ class CampaignResult:
         """Per-cell mean ± CI of an extracted quantity.
 
         Returns ``{(protocol, point_items): CiSummary}`` — the campaign
-        counterpart of :func:`repro.analysis.stats.sweep_cis`.
+        counterpart of :func:`repro.analysis.stats.sweep_cis`.  Cells with
+        no available runs (a foreign shard's share) are omitted.
         """
         # Imported lazily: analysis.stats imports sweeps for typing, and
         # sweeps runs through this module.
@@ -273,6 +324,7 @@ class CampaignResult:
         return {
             key: mean_ci([extract(r) for r in runs], confidence)
             for key, runs in self.by_cell().items()
+            if runs
         }
 
     def format_table(self, metrics: Sequence[str] = ("pdr",)) -> str:
@@ -282,11 +334,12 @@ class CampaignResult:
         for m in metrics:
             header += f" {m:>24s}"
         rows.append(header)
+        counts = {key: len(runs) for key, runs in self.by_cell().items()}
         aggs = [self.aggregate(_summary_extractor(m)) for m in metrics]
         for key in aggs[0] if aggs else []:
             proto, point = key
             label = ",".join(f"{k}={v}" for k, v in point) or "-"
-            row = f"{proto:>12s} {label:>24s} {len(self.spec.seeds):>3d}"
+            row = f"{proto:>12s} {label:>24s} {counts[key]:>3d}"
             for agg in aggs:
                 ci = agg[key]
                 hw = f"±{ci.half_width:.4f}" if ci.half_width == ci.half_width else "±nan"
@@ -311,6 +364,7 @@ def run_campaign(
     cache_dir: Optional[str] = None,
     memo: Optional[Dict[ScenarioConfig, RunResult]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> CampaignResult:
     """Execute a campaign, reusing every result that is already known.
 
@@ -320,14 +374,32 @@ def run_campaign(
     ``multiprocessing`` pool when ``workers > 1``; each finished record is
     written to the cache as it arrives, so interrupting the campaign
     loses at most the in-flight runs.
+
+    ``shard=(i, k)`` distributes one campaign over ``k`` machines sharing
+    a cache dir: runs are partitioned deterministically by config hash
+    (:func:`shard_of`) and only shard ``i``'s share is *executed* here —
+    foreign-shard runs are still served from the caches when available
+    (so overlapping or repeated shard invocations resume cleanly), and
+    are otherwise reported as ``skipped``.  After every shard has run, a
+    final un-sharded invocation against the shared cache assembles the
+    full campaign without executing anything.
     """
+    if shard is not None:
+        index, count = shard
+        if count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 0 <= index < count:
+            raise ValueError(
+                f"shard index {index} out of range for {count} shard"
+                f"{'s' if count != 1 else ''} (need 0 <= i < k)"
+            )
     t0 = time.perf_counter()
     configs = spec.configs()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
 
     results: List[Optional[RunResult]] = [None] * len(configs)
     pending: List[Tuple[int, ScenarioConfig]] = []
-    memo_hits = cache_hits = 0
+    memo_hits = cache_hits = skipped = 0
 
     for i, cfg in enumerate(configs):
         if memo is not None and cfg in memo:
@@ -340,6 +412,9 @@ def run_campaign(
             cache_hits += 1
             if memo is not None:
                 memo[cfg] = results[i]
+            continue
+        if shard is not None and shard_of(cfg, shard[1]) != shard[0]:
+            skipped += 1
             continue
         pending.append((i, cfg))
 
@@ -367,10 +442,11 @@ def run_campaign(
 
     return CampaignResult(
         spec=spec,
-        results=list(results),  # type: ignore[arg-type]
+        results=list(results),
         executed=len(pending),
         cache_hits=cache_hits,
         memo_hits=memo_hits,
+        skipped=skipped,
         elapsed_s=time.perf_counter() - t0,
     )
 
@@ -418,7 +494,8 @@ def build_parser() -> argparse.ArgumentParser:
     what = parser.add_argument_group("what to run")
     what.add_argument(
         "--figure",
-        help="run a paper figure's grid (fig07..fig16) instead of --grid",
+        help="run a figure's grid (fig07..fig16, or the figd01 "
+        "daemon-axis extension) instead of --grid",
     )
     what.add_argument(
         "--protocols",
@@ -452,6 +529,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, help="persistent JSON result cache"
     )
     how.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/K",
+        help="execute only shard I of K (deterministic config-hash "
+        "partition); K machines pointing different shards at one shared "
+        "--cache-dir split the campaign, and a final un-sharded run "
+        "assembles it from cache",
+    )
+    how.add_argument(
         "--metrics",
         default="pdr,energy_per_packet_mj",
         help="summary fields for the aggregate table",
@@ -471,6 +557,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-figures", action="store_true", help="list figure ids and exit"
     )
     return parser
+
+
+def _parse_shard(raw: Optional[str]) -> Optional[Tuple[int, int]]:
+    if raw is None:
+        return None
+    try:
+        index_s, _, count_s = raw.partition("/")
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise SystemExit(
+            f"--shard expects I/K with integer I and K (got {raw!r})"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise SystemExit(
+            f"--shard {raw}: need K >= 1 and 0 <= I < K "
+            f"(shard indices are zero-based)"
+        )
+    return index, count
 
 
 def _parse_overrides(items: List[str]) -> Dict[str, object]:
@@ -552,9 +656,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         spec = spec_from_args(args)
     except ValueError as exc:  # spec validation -> clean CLI error
         raise SystemExit(str(exc)) from None
+    shard = _parse_shard(args.shard)
     if args.dry_run:
         for cfg in spec.configs():
-            print(f"{config_key(cfg)} {cfg.protocol} seed={cfg.seed}")
+            marker = ""
+            if shard is not None:
+                mine = shard_of(cfg, shard[1]) == shard[0]
+                marker = "  [mine]" if mine else "  [other shard]"
+            print(f"{config_key(cfg)} {cfg.protocol} seed={cfg.seed}{marker}")
         print(f"# {spec.size()} runs")
         return 0
 
@@ -564,13 +673,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         progress=progress,
+        shard=shard,
     )
     metrics = [m for m in args.metrics.split(",") if m]
     print()
+    shard_note = (
+        f" shard={shard[0]}/{shard[1]} skipped={campaign.skipped}"
+        if shard is not None
+        else ""
+    )
     print(
         f"# campaign {spec.name}: {spec.size()} runs "
         f"(executed={campaign.executed} cached={campaign.cache_hits} "
-        f"memo={campaign.memo_hits}) in {campaign.elapsed_s:.1f}s"
+        f"memo={campaign.memo_hits}{shard_note}) in {campaign.elapsed_s:.1f}s"
     )
     print(campaign.format_table(metrics))
     return 0

@@ -16,6 +16,8 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.core.daemons import DES_DAEMON_NAMES
+
 
 @dataclass(frozen=True)
 class ScenarioConfig:
@@ -55,6 +57,16 @@ class ScenarioConfig:
 
     # protocol knobs
     beacon_interval: float = 2.0
+    # activation daemon (SS-SPST family): which beacon-scheduling
+    # discipline realizes the round model's activation assumption —
+    # "distributed" (default; independent jittered clocks, the classic
+    # MANET setting), "randomized" (alias of the same jittered
+    # discipline), "synchronous" (lockstep ticks), "central" (id-order
+    # staggered ticks), "weakly-fair" (heavy bounded jitter).  The
+    # round-model-only "adversarial-max-cost" daemon is rejected here.
+    # On-demand protocols (maodv/odmrp/flooding) have no beacon clock and
+    # ignore the axis.
+    daemon: str = "distributed"
 
     # traffic
     rate_kbps: float = 64.0
@@ -73,6 +85,12 @@ class ScenarioConfig:
             raise ValueError("v_min must be > 0 (Noble fix)")
         if self.sim_time <= self.traffic_start:
             raise ValueError("sim_time must exceed traffic_start")
+        if self.daemon not in DES_DAEMON_NAMES:
+            raise ValueError(
+                f"daemon {self.daemon!r} has no DES realization; choose "
+                f"from {sorted(DES_DAEMON_NAMES)} (the adversarial daemon "
+                f"is round-model only)"
+            )
 
     # ------------------------------------------------------------------
     def replace(self, **kwargs) -> "ScenarioConfig":

@@ -104,7 +104,11 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
     network.hub = hub
 
     network.attach_agents(
-        make_agent_factory(config.protocol, beacon_interval=config.beacon_interval)
+        make_agent_factory(
+            config.protocol,
+            beacon_interval=config.beacon_interval,
+            daemon=config.daemon,
+        )
     )
     network.start()
 

@@ -25,15 +25,28 @@ from repro.experiments.runner import RunResult, run_scenario
 Extractor = Callable[[RunResult], float]
 
 
+def _x_key(x):
+    """Normalize an axis value: numeric axes to float, categorical axes
+    (e.g. the ``daemon`` discipline) kept as strings."""
+    if isinstance(x, str):
+        return x
+    return float(x)
+
+
 @dataclass
 class SweepResult:
-    """A grid of averaged Y values: series per protocol over the X axis."""
+    """A grid of averaged Y values: series per protocol over the X axis.
+
+    The X axis is numeric for the paper's sweeps (velocity, beacon
+    interval, group size) and categorical for extension axes like the
+    activation ``daemon``.
+    """
 
     x_name: str
-    x_values: List[float]
+    x_values: List  # floats, or strings for categorical axes
     y_name: str
     series: Dict[str, List[float]]  # protocol -> y per x
-    raw: Dict[Tuple[str, float], List[RunResult]] = field(default_factory=dict)
+    raw: Dict[Tuple[str, object], List[RunResult]] = field(default_factory=dict)
 
     def format_table(self, title: str = "") -> str:
         """Gnuplot-style rows like the paper's figures."""
@@ -44,7 +57,8 @@ class SweepResult:
         header = f"{self.x_name:>12s} " + " ".join(f"{p:>12s}" for p in protos)
         lines.append(header)
         for i, x in enumerate(self.x_values):
-            row = f"{x:12.3f} " + " ".join(
+            label = f"{x:12.3f}" if not isinstance(x, str) else f"{x:>12s}"
+            row = f"{label} " + " ".join(
                 f"{self.series[p][i]:12.4f}" for p in protos
             )
             lines.append(row)
@@ -98,12 +112,12 @@ class Sweep:
         )
 
         series: Dict[str, List[float]] = {p: [] for p in self.protocols}
-        raw: Dict[Tuple[str, float], List[RunResult]] = {}
+        raw: Dict[Tuple[str, object], List[RunResult]] = {}
         by_cell = campaign.by_cell()
         for x in self.x_values:
             for proto in self.protocols:
                 results = by_cell[(proto, ((self.x_name, x),))]
-                raw[(proto, float(x))] = list(results)
+                raw[(proto, _x_key(x))] = list(results)
                 ys = [self.extract(r) for r in results]
                 finite = [y for y in ys if y == y and y != float("inf")]
                 series[proto].append(
@@ -111,7 +125,7 @@ class Sweep:
                 )
         return SweepResult(
             x_name=self.x_name,
-            x_values=[float(x) for x in self.x_values],
+            x_values=[_x_key(x) for x in self.x_values],
             y_name=self.y_name,
             series=series,
             raw=raw,

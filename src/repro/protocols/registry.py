@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.core.daemons import DES_DAEMON_NAMES
 from repro.core.metrics import metric_by_name
 from repro.net.node import Node, ProtocolAgent
 from repro.protocols.flooding import FloodingAgent
@@ -26,6 +27,7 @@ def make_agent_factory(
     protocol: str,
     *,
     beacon_interval: float = 2.0,
+    daemon: str = "distributed",
     ss_config: Optional[SSSPSTConfig] = None,
     maodv_config: Optional[MaodvConfig] = None,
     odmrp_config: Optional[OdmrpConfig] = None,
@@ -34,8 +36,17 @@ def make_agent_factory(
 
     ``beacon_interval`` is a convenience for the SS-SPST family (the
     paper's Figure 10/11 sweep); pass a full ``ss_config`` to tune more.
+    ``daemon`` selects the activation discipline realized by the SS-SPST
+    beacon clocks (see :attr:`SSSPSTConfig.activation`); on-demand
+    protocols have no beacon clock and ignore it.  The round-model-only
+    ``adversarial-max-cost`` daemon is rejected.
     """
     protocol = protocol.lower()
+    if daemon not in DES_DAEMON_NAMES:
+        raise ValueError(
+            f"daemon {daemon!r} has no DES realization; choose from "
+            f"{sorted(DES_DAEMON_NAMES)}"
+        )
     if protocol in _SS_FAMILY:
         metric_name = _SS_FAMILY[protocol]
         if ss_config is not None:
@@ -49,6 +60,7 @@ def make_agent_factory(
                 beacon_interval=beacon_interval,
                 switch_threshold=0.0 if undamped else 0.10,
                 hold_down_intervals=0.0 if undamped else 3.0,
+                activation=daemon,
             )
 
         def factory(node: Node) -> ProtocolAgent:

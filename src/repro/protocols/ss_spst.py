@@ -70,6 +70,22 @@ class SSSPSTConfig:
         F/E metrics couple every node's marginal costs to its neighbors'
         child sets, so un-damped distributed evaluation cascades into
         network-wide churn — the classic hold-down timer bounds it.
+    activation:
+        Which activation daemon the beacon clocks realize (the DES
+        counterpart of :mod:`repro.core.daemons`):
+
+        * ``"distributed"`` / ``"randomized"`` — independent clocks with
+          random phase plus ``beacon_jitter`` (the classic MANET setting
+          and the historical default; both names map to the identical
+          discipline, since independent jittered clocks *are* a random
+          activation order);
+        * ``"synchronous"`` — lockstep ticks (zero phase, zero jitter):
+          every node computes from the same stale snapshot and all
+          beacons contend at once;
+        * ``"central"`` — ticks staggered in id order across the beacon
+          interval (zero jitter): a serialized update schedule;
+        * ``"weakly-fair"`` — random phase with heavy (half-interval)
+          jitter: activation delays vary widely but stay bounded.
     """
 
     beacon_interval: float = 2.0
@@ -78,12 +94,23 @@ class SSSPSTConfig:
     range_margin: float = 0.10
     switch_threshold: float = 0.10
     hold_down_intervals: float = 3.0
+    activation: str = "distributed"
+
+    #: beacon disciplines with a DES realization (adversarial-max-cost is
+    #: round-model only: a packet-level adversary would need omniscient
+    #: zero-latency control of every clock)
+    ACTIVATIONS = ("distributed", "randomized", "synchronous", "central", "weakly-fair")
 
     def __post_init__(self) -> None:
         if self.beacon_interval <= 0 or self.miss_factor <= 1:
             raise ValueError("invalid SS-SPST configuration")
         if self.switch_threshold < 0 or self.hold_down_intervals < 0:
             raise ValueError("switch_threshold/hold_down must be non-negative")
+        if self.activation not in self.ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {self.activation!r}; choose from "
+                f"{self.ACTIVATIONS}"
+            )
 
 
 class LocalView(NodeView):
@@ -271,17 +298,29 @@ class SSSPSTAgent(MulticastAgent):
         return (self.n_nodes + 1) * max(per_node, 1.0) + 1.0
 
     def start(self) -> None:
+        interval = self.config.beacon_interval
+        stream = self.network.streams.get(f"beacon.{self.node.id}")
+        activation = self.config.activation
+        if activation in ("distributed", "randomized"):
+            # Historical default, draw-for-draw: random phase + jitter.
+            jitter = self.config.beacon_jitter
+            offset = float(stream.uniform(0.0, interval))
+        elif activation == "weakly-fair":
+            jitter = 0.5 * interval
+            offset = float(stream.uniform(0.0, interval))
+        elif activation == "synchronous":
+            jitter = 0.0
+            offset = 0.0
+        else:  # central: id-order serialization across the interval
+            jitter = 0.0
+            offset = (self.node.id / max(self.n_nodes, 1)) * interval
         self._timer = PeriodicTimer(
             self.sim,
-            self.config.beacon_interval,
+            interval,
             self._tick,
-            jitter=self.config.beacon_jitter,
-            rng=self.network.streams.get(f"beacon.{self.node.id}"),
-            start_offset=float(
-                self.network.streams.get(f"beacon.{self.node.id}").uniform(
-                    0.0, self.config.beacon_interval
-                )
-            ),
+            jitter=jitter,
+            rng=stream,
+            start_offset=offset,
         )
 
     def stop(self) -> None:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -42,3 +44,14 @@ def streams() -> RngStreams:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(987654321)
+
+
+@pytest.fixture
+def test_daemon() -> str:
+    """Default activation daemon for daemon-generic tests.
+
+    CI matrixes the tier-1 job over ``REPRO_TEST_DAEMON={central,
+    randomized}`` so both disciplines stay exercised by default-path
+    tests; any registry name works locally.
+    """
+    return os.environ.get("REPRO_TEST_DAEMON", "central")

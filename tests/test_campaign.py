@@ -22,6 +22,7 @@ from repro.experiments.campaign import (
     record_from_result,
     result_from_record,
     run_campaign,
+    shard_of,
 )
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import RunResult, run_scenario
@@ -56,8 +57,39 @@ class TestConfigKey:
             {"protocol": "odmrp"},
             {"v_max": base.v_max + 1.0},
             {"loss_prob": base.loss_prob / 2},
+            {"daemon": "central"},
         ):
             assert config_key(base.replace(**change)) != config_key(base)
+
+    def test_daemon_default_is_hash_neutral(self):
+        """Adding the daemon axis must not invalidate pre-existing caches:
+        at its default the field is dropped from the hash payload, so the
+        key equals the pre-daemon-era key (computed here the way the old
+        code did, over every other field)."""
+        base = fast_base()
+        assert base.daemon == "distributed"
+        legacy_payload = dataclasses.asdict(base)
+        del legacy_payload["daemon"]
+        legacy = json.dumps(legacy_payload, sort_keys=True, separators=(",", ":"))
+        import hashlib
+
+        expected = hashlib.sha256(
+            f"v{CACHE_SCHEMA}:{legacy}".encode("utf-8")
+        ).hexdigest()[:24]
+        assert config_key(base) == expected
+
+    def test_pre_daemon_cache_record_still_loads(self, tmp_path):
+        """A record written before the daemon field existed (no 'daemon'
+        key in its config dict) must hit for a default-daemon config."""
+        cfg = fast_base(protocol="flooding")
+        cache = ResultCache(str(tmp_path))
+        record = record_from_result(run_scenario(cfg))
+        del record["config"]["daemon"]  # simulate an old-era record
+        cache.store(cfg, record)
+        loaded = cache.load(cfg)
+        assert loaded is not None
+        rebuilt = result_from_record(loaded)
+        assert rebuilt.config == cfg
 
 
 class TestCampaignSpec:
@@ -260,6 +292,93 @@ class TestRunCampaign:
         assert "flooding" in table and "ss-spst" in table
         assert table.count("v_max=") == 4
         assert "pdr" in table and "avg_delay_ms" in table
+
+
+class TestSharding:
+    """Distributed campaigns: K machines share a cache dir, each runs its
+    deterministic config-hash shard, a final run assembles from cache."""
+
+    def test_shards_partition_the_campaign(self):
+        spec = fast_spec(seeds=(1, 2))
+        configs = spec.configs()
+        for k in (1, 2, 3):
+            shards = [
+                [c for c in configs if shard_of(c, k) == i] for i in range(k)
+            ]
+            assert sum(len(s) for s in shards) == len(configs)
+            seen = [c for s in shards for c in s]
+            assert sorted(map(config_key, seen)) == sorted(map(config_key, configs))
+
+    def test_shard_executes_only_its_share(self, tmp_path):
+        spec = fast_spec(seeds=(1, 2))
+        mine = [c for c in spec.configs() if shard_of(c, 2) == 0]
+        campaign = run_campaign(
+            spec, workers=2, cache_dir=str(tmp_path), shard=(0, 2)
+        )
+        assert campaign.executed == len(mine)
+        assert campaign.skipped == spec.size() - len(mine)
+        present = [r for r in campaign.results if r is not None]
+        assert len(present) == len(mine)
+        # partial aggregation still works (only populated cells reported)
+        agg = campaign.aggregate(lambda r: r.summary.pdr)
+        assert agg and all(ci.n >= 1 for ci in agg.values())
+        campaign.format_table(["pdr"])
+
+    def test_resume_after_shard_overlap(self, tmp_path):
+        """Both shards into one cache dir — including a repeated (crashed
+        and restarted) shard, whose second pass must be pure cache hits —
+        then an un-sharded run assembles everything without executing."""
+        spec = fast_spec(seeds=(1, 2))
+        first = run_campaign(spec, cache_dir=str(tmp_path), shard=(0, 2))
+        again = run_campaign(spec, cache_dir=str(tmp_path), shard=(0, 2))
+        assert again.executed == 0
+        assert again.cache_hits == first.executed
+        assert again.skipped == first.skipped
+        other = run_campaign(spec, cache_dir=str(tmp_path), shard=(1, 2))
+        assert other.executed == spec.size() - first.executed
+        assert other.cache_hits == first.executed  # overlap served from cache
+        assert other.skipped == 0
+        full = run_campaign(spec, cache_dir=str(tmp_path))
+        assert full.executed == 0 and full.skipped == 0
+        assert full.cache_hits == spec.size()
+        assert all(r is not None for r in full.results)
+
+    def test_rejects_bad_shards(self, tmp_path):
+        spec = fast_spec(seeds=(1,))
+        with pytest.raises(ValueError, match="out of range"):
+            run_campaign(spec, shard=(2, 2))
+        with pytest.raises(ValueError, match="out of range"):
+            run_campaign(spec, shard=(-1, 2))
+        with pytest.raises(ValueError, match=">= 1"):
+            run_campaign(spec, shard=(0, 0))
+
+    def test_cli_shard_flag(self, tmp_path, capsys):
+        args = [
+            "--protocols", "flooding", "--seeds", "1,2", "--set", "sim_time=12",
+            "--set", "n_nodes=16", "--set", "group_size=4", "--quiet",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args + ["--shard", "0/2"]) == 0
+        out0 = capsys.readouterr().out
+        assert "shard=0/2" in out0
+        assert main(args + ["--shard", "1/2"]) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "executed=0 cached=2" in out
+
+    def test_cli_rejects_malformed_shard(self):
+        for bad in ("2/2", "1", "a/b", "1/0", "-1/2"):
+            with pytest.raises(SystemExit):
+                main(["--protocols", "flooding", "--shard", bad, "--dry-run"])
+
+    def test_cli_dry_run_marks_shard_membership(self, capsys):
+        assert main(
+            ["--protocols", "flooding", "--seeds", "1,2", "--shard", "0/2",
+             "--dry-run"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[mine]" in out or "[other shard]" in out
 
 
 class TestCli:

@@ -184,6 +184,40 @@ def test_flags_excluding_matches_scratch_after_applies(seed):
         check_all()
 
 
+@settings(**SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_path_price_shared_memo_matches_fresh_view(seed):
+    """The cross-evaluation chain memo must never leak one evaluator's
+    detached world into another's price: across an arbitrary apply
+    sequence, every (candidate, evaluator) path_price must equal the same
+    query on a freshly derived view (whose memos are empty)."""
+    topo = random_connected_topology(seed, n_max=10)
+    m = metric_by_name("energy", EXAMPLE_RADIO)
+    rng = np.random.default_rng(seed + 23)
+    view = GlobalView(topo, arbitrary_states(topo, m, rng))
+
+    def check_all():
+        for v in range(topo.n):
+            v_flag = bool(view.flag_excluding(v, v))
+            for u in topo.neighbors(v):
+                got = view.path_price(u, v, v_flag, m)
+                fresh = GlobalView(topo, view.states).path_price(u, v, v_flag, m)
+                assert got == fresh, f"path_price({u}, {v}) diverged"
+
+    check_all()
+    for _ in range(8):
+        v = int(rng.integers(0, topo.n))
+        nbrs = topo.neighbors(v)
+        if rng.random() < 0.3:
+            old = view.states[v]
+            ns = NodeState(old.parent, float(rng.uniform(0.0, 9.0)), old.hop)
+        else:
+            parent = int(rng.choice(nbrs)) if nbrs and rng.random() < 0.8 else None
+            ns = NodeState(parent, view.states[v].cost, view.states[v].hop)
+        view.apply(v, ns)
+        check_all()
+
+
 def test_path_price_cycle_fallback_is_candidate_order_independent():
     """Prices through a parent cycle are cut where the walk started, so
     they are per-candidate values: evaluating one candidate must never
