@@ -40,6 +40,8 @@ import numpy as np
 
 from repro.core import NodeState, RoundEngine, fresh_states, metric_by_name
 from repro.core.examples import EXAMPLE_RADIO
+from repro.experiments.backends import build_round_scenario
+from repro.experiments.config import ScenarioConfig
 from repro.graph import Topology
 
 N = int(os.environ.get("REPRO_BENCH_INC_N", "200"))
@@ -65,16 +67,39 @@ def _engine(topo, metric, incremental, seed):
     )
 
 
+def _bench_config(seed: int, n: int = N) -> ScenarioConfig:
+    """The bench workload as a rounds-backend scenario: sparse MANET
+    density (11n m arena side), quarter-group membership, the worked
+    examples' radio constants."""
+    return ScenarioConfig.quick(
+        backend="rounds",
+        protocol="ss-spst-e",
+        daemon=DAEMON,
+        n_nodes=n,
+        arena_w=11.0 * n,
+        arena_h=11.0 * n,
+        max_range=250.0,
+        group_size=max(2, n // 4),
+        e_elec=EXAMPLE_RADIO.e_elec,
+        e_rx=EXAMPLE_RADIO.e_rx,
+        eps_amp=EXAMPLE_RADIO.eps_amp,
+        alpha=EXAMPLE_RADIO.alpha,
+        seed=seed,
+    )
+
+
 def _sample_settled(seed: int, n: int = N):
     """A connected geometric topology plus its settled result under the
     randomized daemon (which converges almost surely where fixed orders
-    can limit-cycle)."""
-    rng = np.random.default_rng(seed)
-    metric = metric_by_name("energy", EXAMPLE_RADIO)
-    for _ in range(50):
-        pos = rng.random((n, 2)) * (11.0 * n)  # sparse MANET density
-        members = [int(x) for x in rng.choice(n, size=n // 4, replace=False)]
-        topo = Topology.from_positions(pos, 250.0, source=0, members=members)
+    can limit-cycle).
+
+    Scenario construction routes through the experiment backend
+    (:func:`~repro.experiments.backends.build_round_scenario`) so bench
+    and campaign share one code path; disconnected or non-convergent
+    draws retry on a derived seed."""
+    for attempt in range(50):
+        cfg = _bench_config(seed + 1000 * attempt, n)
+        topo, metric = build_round_scenario(cfg)
         if not topo.is_connected():
             continue
         settled = _engine(topo, metric, True, seed).run(fresh_states(topo, metric))
@@ -232,9 +257,10 @@ def test_incremental_energy_ablation(benchmark):
     assert stats["converge"]["evals_inc"] <= stats["converge"]["evals_base"]
     # Fault recovery is the point of the dirty sets: the acceptance bar —
     # incremental randomized-daemon SS-SPST-E >= 3x its full-evaluation
-    # counterpart at n = 200 (measures ~5-6x; smaller quick-mode runs get
-    # a scaled floor).  The evals ratio is deterministic and catches
-    # regressions even under wall-clock noise.
+    # counterpart at n = 200 (measures ~3.5x on the backend-sampled
+    # topologies; smaller quick-mode runs get a scaled floor).  The evals
+    # ratio is deterministic and catches regressions even under
+    # wall-clock noise.
     assert stats["recover"]["speedup"] >= MIN_RECOVER_X
     assert stats["recover"]["evals_ratio"] >= MIN_RECOVER_X
     # Deep-chain linearity: cross-evaluation price-prefix reuse keeps the

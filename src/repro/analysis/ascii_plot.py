@@ -41,9 +41,15 @@ def ascii_plot(
     lines = []
     if y_label:
         lines.append(y_label)
+    # Count-valued series (e.g. stabilization rounds) get integer ticks;
+    # fractional ticks would suggest precision the data does not have.
+    int_ticks = all(float(v).is_integer() for v in finite) and hi - lo >= (
+        height - 1
+    )
     for r, row in enumerate(grid):
         y_tick = hi - r * (hi - lo) / (height - 1)
-        lines.append(f"{y_tick:10.3f} |" + "".join(row))
+        label = f"{y_tick:10.0f}" if int_ticks else f"{y_tick:10.3f}"
+        lines.append(label + " |" + "".join(row))
     lines.append(" " * 11 + "+" + "-" * width)
     # categorical axes (e.g. the daemon discipline) label with the raw
     # string; numeric axes keep compact %g ticks

@@ -53,6 +53,22 @@ def mean_ci(values: Sequence[float], confidence: float = 0.95) -> CiSummary:
     return CiSummary(mean, t * math.sqrt(var / n), n)
 
 
+def campaign_cis(
+    campaign,
+    metric: str,
+    confidence: float = 0.95,
+) -> Dict[Tuple[str, Tuple], CiSummary]:
+    """Per-cell CIs for a campaign metric *name*, any backend.
+
+    The campaign counterpart of :func:`sweep_cis` with the stringly
+    attribute pull replaced by the backends' typed
+    :class:`~repro.experiments.backends.MetricSpec` registry: ``metric``
+    is resolved against every backend the campaign spans, and results
+    from a backend that does not define it are filtered as ``nan``.
+    """
+    return campaign.aggregate(campaign.extractor(metric), confidence)
+
+
 def sweep_cis(
     result: SweepResult,
     extract,

@@ -33,19 +33,34 @@ from repro.graph.topology import Topology
 ExecutorLike = Union[RoundEngine, str]
 
 
-def _as_engine(
-    topo: Topology, metric: CostMetric, executor: ExecutorLike
+def engine_for(
+    topo: Topology,
+    metric: CostMetric,
+    executor: ExecutorLike,
+    *,
+    incremental: bool = True,
+    rng: Optional[np.random.Generator] = None,
 ) -> RoundEngine:
-    """Accept either an engine or a daemon name (deterministic rng)."""
+    """Accept either an engine or a daemon name.
+
+    The one construction path shared by the lemma checkers and the
+    ``rounds`` experiment backend: a name builds an incremental engine
+    (bit-identical to full evaluation, usually much cheaper) with a
+    deterministic rng unless one is supplied.
+    """
     if isinstance(executor, str):
         return RoundEngine(
             topo,
             metric,
             daemon=executor,
-            incremental=True,
-            rng=np.random.default_rng(0),
+            incremental=incremental,
+            rng=np.random.default_rng(0) if rng is None else rng,
         )
     return executor
+
+
+#: backwards-compatible alias (pre-backend-split private name)
+_as_engine = engine_for
 
 
 @dataclass
@@ -65,7 +80,7 @@ def check_convergence(
 ) -> LemmaReport:
     """Lemma 1: the executor (engine or daemon name) reaches a legitimate
     fixpoint."""
-    result = _as_engine(topo, metric, executor).run(initial, max_rounds=max_rounds)
+    result = engine_for(topo, metric, executor).run(initial, max_rounds=max_rounds)
     if not result.converged:
         return LemmaReport(False, f"no fixpoint within {len(result.cost_history) - 1} rounds")
     if not is_legitimate(topo, metric, result.states):
@@ -89,7 +104,7 @@ def check_closure(
     """Lemma 2: further rounds leave a legitimate state untouched."""
     if not is_legitimate(topo, metric, stabilized):
         return LemmaReport(False, "input state is not legitimate")
-    result = _as_engine(topo, metric, executor).run(
+    result = engine_for(topo, metric, executor).run(
         list(stabilized), max_rounds=extra_rounds
     )
     if result.rounds != 0:

@@ -330,6 +330,21 @@ DES_DAEMON_NAMES: Tuple[str, ...] = tuple(
     n for n in DAEMON_NAMES if n != AdversarialMaxCostDaemon.name
 )
 
+def require_des_daemon(name: str) -> None:
+    """Raise the canonical error when ``name`` has no DES realization.
+
+    One message, shared by every layer that gates on a beacon-schedule
+    realization (the DES experiment backend, the protocol factory), so
+    callers and tests see the same wording everywhere.
+    """
+    if name not in DES_DAEMON_NAMES:
+        raise ValueError(
+            f"daemon {name!r} has no DES realization; choose "
+            f"from {sorted(DES_DAEMON_NAMES)} (the adversarial daemon "
+            f"is round-model only)"
+        )
+
+
 #: daemons whose construction takes an rng
 _NEEDS_RNG = {RandomizedDaemon.name, DistributedDaemon.name, WeaklyFairDaemon.name}
 

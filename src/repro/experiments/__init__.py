@@ -17,6 +17,13 @@ or reproduce a whole figure::
     print(result.format_table())
 """
 
+from repro.experiments.backends import (
+    BACKEND_NAMES,
+    ExperimentBackend,
+    MetricSpec,
+    backend_by_name,
+    metric_extractor,
+)
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import run_scenario, RunResult
 from repro.experiments.sweeps import Sweep, SweepResult, run_sweep
@@ -42,6 +49,11 @@ def __getattr__(name):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExperimentBackend",
+    "MetricSpec",
+    "backend_by_name",
+    "metric_extractor",
     "ScenarioConfig",
     "run_scenario",
     "RunResult",

@@ -1,10 +1,16 @@
-"""Parallel experiment campaigns.
+"""Parallel experiment campaigns over pluggable backends.
 
 The paper's evaluation (section 6) is a grid of scenarios — protocols ×
 parameter values × seed replications.  A :class:`CampaignSpec` declares
 such a grid once; :func:`run_campaign` executes it on a
 ``multiprocessing`` worker pool with a per-run JSON result cache keyed by
 a stable hash of the full :class:`~repro.experiments.config.ScenarioConfig`.
+Each run executes on the config's **experiment backend**
+(:mod:`repro.experiments.backends`): ``des`` — the packet-level
+simulator — or ``rounds`` — the round-model stabilization engine, orders
+of magnitude faster per run, which is what lets stabilization-vs-daemon
+campaigns (``figd02``) reach paper scale.  ``backend`` is an ordinary
+config field, so it sweeps like any grid axis.
 Re-running a campaign (or a different campaign sharing cells — e.g. the
 Figure 7/8/9 sweeps, which extract different metrics from the *same*
 simulations) only executes the missing runs, and an interrupted campaign
@@ -49,22 +55,34 @@ import typing
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.experiments.backends import (
+    DesBackend,
+    backend_by_name,
+    default_metrics,
+    metric_extractor,
+)
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.runner import RunResult, run_scenario
-from repro.metrics.hub import RunSummary
+from repro.experiments.runner import RunResult
 
-#: bump when the record layout (or anything that invalidates cached
-#: results, e.g. simulator semantics) changes; mismatched files are
+#: record-layout version written to new cache files.  v2 added the
+#: optional ``backend`` key (absent = "des"); loading still accepts every
+#: version in ``COMPATIBLE_SCHEMAS`` and tolerates records that lack
+#: later-added summary/diagnostic fields, so old caches keep hitting.
+CACHE_SCHEMA = 2
+
+#: record versions the loader accepts; files outside this set are
 #: treated as cache misses, never errors.
-CACHE_SCHEMA = 1
+COMPATIBLE_SCHEMAS = (1, 2)
+
+#: version prefix of the *config hash* — deliberately decoupled from
+#: ``CACHE_SCHEMA`` (bumping the record layout must not re-key every
+#: cached run; bump this only when run *semantics* change).
+HASH_SCHEMA = 1
 
 #: RunResult diagnostics persisted alongside the summary
-_DIAGNOSTIC_FIELDS = (
-    "parent_changes",
-    "events_executed",
-    "frames_sent",
-    "frames_collided",
-)
+#: (kept as a module name for backwards compatibility; the DES backend
+#: owns the authoritative list)
+_DIAGNOSTIC_FIELDS = DesBackend.DIAGNOSTIC_FIELDS
 
 
 # ----------------------------------------------------------------------
@@ -76,7 +94,10 @@ _DIAGNOSTIC_FIELDS = (
 #: into stored records on load), so every pre-existing cache entry — and
 #: every campaign hash — stays valid; only non-default values fork new
 #: cache cells.
-_HASH_NEUTRAL_DEFAULTS: Dict[str, object] = {"daemon": "distributed"}
+_HASH_NEUTRAL_DEFAULTS: Dict[str, object] = {
+    "daemon": "distributed",
+    "backend": "des",
+}
 
 
 def _hash_payload(config: ScenarioConfig) -> Dict[str, object]:
@@ -101,7 +122,7 @@ def config_key(config: ScenarioConfig) -> str:
         _hash_payload(config), sort_keys=True, separators=(",", ":")
     )
     digest = hashlib.sha256(
-        f"v{CACHE_SCHEMA}:{payload}".encode("utf-8")
+        f"v{HASH_SCHEMA}:{payload}".encode("utf-8")
     ).hexdigest()
     return digest[:24]
 
@@ -119,23 +140,22 @@ def shard_of(config: ScenarioConfig, n_shards: int) -> int:
 # ----------------------------------------------------------------------
 # Persistent per-run records
 # ----------------------------------------------------------------------
-def record_from_result(result: RunResult, elapsed_s: float = 0.0) -> dict:
-    """JSON-safe record of one finished run."""
-    return {
-        "schema": CACHE_SCHEMA,
-        "config": dataclasses.asdict(result.config),
-        "summary": result.summary.as_dict(),
-        "diagnostics": {f: getattr(result, f) for f in _DIAGNOSTIC_FIELDS},
-        "elapsed_s": elapsed_s,
-    }
+def record_from_result(result, elapsed_s: float = 0.0) -> dict:
+    """JSON-safe record of one finished run (any backend)."""
+    backend = backend_by_name(getattr(result.config, "backend", "des"))
+    return backend.record_from(result, elapsed_s=elapsed_s)
 
 
-def result_from_record(record: dict) -> RunResult:
-    """Rebuild the :class:`RunResult` a record was made from."""
-    return RunResult(
-        summary=RunSummary(**record["summary"]),
-        config=ScenarioConfig(**record["config"]),
-        **record["diagnostics"],
+def result_from_record(record: dict):
+    """Rebuild the result a record was made from (any backend, any era).
+
+    Dispatches on the record's ``backend`` key (absent in v1 records,
+    meaning DES) and tolerates records that lack later-added summary or
+    diagnostic fields — a v1 cache written before those fields existed
+    keeps loading unchanged.
+    """
+    return backend_by_name(record.get("backend", "des")).result_from_record(
+        record
     )
 
 
@@ -160,8 +180,10 @@ class ResultCache:
                 record = json.load(fh)
         except (OSError, ValueError):
             return None
-        if record.get("schema") != CACHE_SCHEMA:
+        if record.get("schema") not in COMPATIBLE_SCHEMAS:
             return None
+        if record.get("backend", "des") != config.backend:
+            return None  # a foreign backend's record cannot impersonate
         stored = record.get("config")
         if isinstance(stored, dict):
             # Records written before a hash-neutral field existed lack it;
@@ -253,15 +275,27 @@ class CampaignSpec:
     def size(self) -> int:
         return len(self.protocols) * len(self.seeds) * len(self.points())
 
+    def backends(self) -> Tuple[str, ...]:
+        """The experiment backends this campaign spans.
+
+        The base config's backend, unless ``backend`` is a grid axis —
+        then every cell's backend comes from the axis values.
+        """
+        for name, values in self.grid:
+            if name == "backend":
+                return tuple(dict.fromkeys(values))
+        return (self.base.backend,)
+
 
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
 def _execute(config: ScenarioConfig) -> dict:
-    """Worker-side: run one scenario, return its JSON-safe record."""
+    """Worker-side: run one config on its backend, return its record."""
+    backend = backend_by_name(config.backend)
     t0 = time.perf_counter()
-    result = run_scenario(config)
-    return record_from_result(result, elapsed_s=time.perf_counter() - t0)
+    result = backend.run(config)
+    return backend.record_from(result, elapsed_s=time.perf_counter() - t0)
 
 
 def _execute_indexed(payload: Tuple[int, ScenarioConfig]) -> Tuple[int, dict]:
@@ -327,19 +361,29 @@ class CampaignResult:
             if runs
         }
 
+    def extractor(self, metric: str) -> Callable:
+        """The backend-dispatching extractor for a metric name.
+
+        Resolved against every backend the campaign spans (see
+        :func:`repro.experiments.backends.metric_extractor`), so the same
+        name works over DES runs, rounds runs, or a mix.
+        """
+        return metric_extractor(metric, self.spec.backends())
+
     def format_table(self, metrics: Sequence[str] = ("pdr",)) -> str:
         """Aggregate table: one row per cell, mean ± CI per metric."""
         rows = []
-        header = f"{'protocol':>12s} {'grid point':>24s} {'n':>3s}"
+        counts = {key: len(runs) for key, runs in self.by_cell().items()}
+        labels = {key: cell_label(key[1]) for key in counts}
+        width = max([24] + [len(v) for v in labels.values()])
+        header = f"{'protocol':>12s} {'grid point':>{width}s} {'n':>3s}"
         for m in metrics:
             header += f" {m:>24s}"
         rows.append(header)
-        counts = {key: len(runs) for key, runs in self.by_cell().items()}
-        aggs = [self.aggregate(_summary_extractor(m)) for m in metrics]
+        aggs = [self.aggregate(self.extractor(m)) for m in metrics]
         for key in aggs[0] if aggs else []:
             proto, point = key
-            label = ",".join(f"{k}={v}" for k, v in point) or "-"
-            row = f"{proto:>12s} {label:>24s} {counts[key]:>3d}"
+            row = f"{proto:>12s} {labels[key]:>{width}s} {counts[key]:>3d}"
             for agg in aggs:
                 ci = agg[key]
                 hw = f"±{ci.half_width:.4f}" if ci.half_width == ci.half_width else "±nan"
@@ -348,7 +392,23 @@ class CampaignResult:
         return "\n".join(rows)
 
 
+def cell_label(point_items: Iterable[Tuple[str, object]]) -> str:
+    """Human-readable grid-point label (``k=v,...`` or ``-``), shared by
+    the aggregate table and the JSON campaign record."""
+    return ",".join(f"{k}={v}" for k, v in point_items) or "-"
+
+
 def _summary_extractor(name: str) -> Callable[[RunResult], float]:
+    """Deprecated: DES-only ``RunSummary`` attribute pull.
+
+    Superseded by the typed :class:`~repro.experiments.backends.MetricSpec`
+    registry — use ``metric_extractor(name, spec.backends())`` or
+    ``CampaignResult.extractor(name)``, which dispatch per backend (see
+    the README migration note).  Kept with its historical signature and
+    error message for existing callers.
+    """
+    from repro.metrics.hub import RunSummary
+
     if name not in {f.name for f in dataclasses.fields(RunSummary)}:
         raise ValueError(
             f"unknown summary metric {name!r}; choose from "
@@ -494,8 +554,16 @@ def build_parser() -> argparse.ArgumentParser:
     what = parser.add_argument_group("what to run")
     what.add_argument(
         "--figure",
-        help="run a figure's grid (fig07..fig16, or the figd01 "
-        "daemon-axis extension) instead of --grid",
+        help="run a figure's grid (fig07..fig16, or the figd01/figd02 "
+        "extensions) instead of --grid",
+    )
+    what.add_argument(
+        "--backend",
+        default=None,
+        help="experiment backend for the base config: 'des' (packet-level "
+        "simulator, the default) or 'rounds' (round-model stabilization "
+        "engine; accepts every daemon and is orders of magnitude faster "
+        "per run).  Sweepable as a grid axis too: --grid backend=des,rounds",
     )
     what.add_argument(
         "--protocols",
@@ -539,8 +607,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     how.add_argument(
         "--metrics",
-        default="pdr,energy_per_packet_mj",
-        help="summary fields for the aggregate table",
+        default=None,
+        help="metric names for the aggregate table (default: per-backend "
+        "choice, e.g. pdr,energy_per_packet_mj on des and "
+        "rounds,evaluations,moves on rounds)",
     )
     how.add_argument(
         "--name", default="cli", help="campaign name (progress labels)"
@@ -548,7 +618,15 @@ def build_parser() -> argparse.ArgumentParser:
     how.add_argument(
         "--dry-run",
         action="store_true",
-        help="list the runs without executing anything",
+        help="print the plan — backend, per-run identities, grid size, "
+        "shard assignment and warm-cache hit count — without executing",
+    )
+    how.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="write a machine-readable campaign record (aggregates + "
+        "cache accounting) to PATH after the run",
     )
     how.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress"
@@ -604,11 +682,37 @@ def _reject_grid_collisions(
         )
 
 
+def _merge_backend_flag(
+    overrides: Dict[str, object], backend: Optional[str], axes: Iterable[str]
+) -> None:
+    """Fold ``--backend`` into the override set, rejecting contradictions.
+
+    The flag is sugar for ``--set backend=...`` but gets its own error
+    messages: silently letting a ``--set backend`` or a ``backend=`` grid
+    axis win over an explicit flag would run a different executor than
+    the one the caller named."""
+    if not backend:
+        return
+    if "backend" in set(axes):
+        raise SystemExit(
+            f"--backend {backend}: 'backend' is already a grid axis; the "
+            f"axis values would overwrite the flag.  Drop --backend and "
+            f"let --grid backend=... drive the sweep."
+        )
+    if overrides.get("backend", backend) != backend:
+        raise SystemExit(
+            f"--backend {backend} contradicts --set "
+            f"backend={overrides['backend']}; drop one of them."
+        )
+    overrides["backend"] = backend
+
+
 def spec_from_args(args) -> CampaignSpec:
     seeds = tuple(int(s) for s in args.seeds.split(",") if s)
     # All overrides are applied in one replace(): interdependent fields
     # (n_nodes + group_size) would otherwise fail validation midway.
     overrides = _parse_overrides(args.overrides)
+    backend_flag = getattr(args, "backend", None)
     if args.figure:
         from repro.experiments.figures import FIGURES
 
@@ -618,6 +722,9 @@ def spec_from_args(args) -> CampaignSpec:
             )
         spec = FIGURES[args.figure].campaign_spec(
             quick=not args.paper, seeds=seeds
+        )
+        _merge_backend_flag(
+            overrides, backend_flag, (name for name, _ in spec.grid)
         )
         if overrides:
             _reject_grid_collisions(
@@ -630,6 +737,7 @@ def spec_from_args(args) -> CampaignSpec:
             )
         return spec
     grid = _parse_grid(args.grid)
+    _merge_backend_flag(overrides, backend_flag, grid)
     _reject_grid_collisions(overrides, grid, "this campaign (--grid)")
     base = ScenarioConfig.paper_scale() if args.paper else ScenarioConfig.quick()
     if overrides:
@@ -654,17 +762,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         spec = spec_from_args(args)
-    except ValueError as exc:  # spec validation -> clean CLI error
+        configs = spec.configs()  # constructs (and so validates) every run
+    except ValueError as exc:  # spec/config validation -> clean CLI error
         raise SystemExit(str(exc)) from None
     shard = _parse_shard(args.shard)
     if args.dry_run:
-        for cfg in spec.configs():
+        # The full plan without executing anything: per-run identity and
+        # shard/cache status, then the campaign shape.  The cache is only
+        # probed when its directory already exists (ResultCache would
+        # create it), so a dry run is always side-effect free.
+        cache = (
+            ResultCache(args.cache_dir)
+            if args.cache_dir and os.path.isdir(args.cache_dir)
+            else None
+        )
+        warm = mine_count = 0
+        for cfg in configs:
             marker = ""
             if shard is not None:
                 mine = shard_of(cfg, shard[1]) == shard[0]
+                mine_count += mine
                 marker = "  [mine]" if mine else "  [other shard]"
-            print(f"{config_key(cfg)} {cfg.protocol} seed={cfg.seed}{marker}")
-        print(f"# {spec.size()} runs")
+            if cache is not None and cache.load(cfg) is not None:
+                warm += 1
+                marker += "  [cached]"
+            print(
+                f"{config_key(cfg)} {cfg.backend:>6s} {cfg.protocol} "
+                f"daemon={cfg.daemon} seed={cfg.seed}{marker}"
+            )
+        print(
+            f"# {spec.size()} runs = {len(spec.cells())} cells "
+            f"x {len(spec.seeds)} seeds"
+        )
+        print(f"# backend(s): {','.join(spec.backends())}")
+        if shard is not None:
+            print(
+                f"# shard {shard[0]}/{shard[1]}: mine={mine_count} "
+                f"other={spec.size() - mine_count}"
+            )
+        if cache is not None:
+            print(f"# warm cache hits: {warm}/{spec.size()}")
+        elif args.cache_dir:
+            print(f"# warm cache hits: 0/{spec.size()} (cache dir absent)")
         return 0
 
     progress = None if args.quiet else lambda msg: print(msg, flush=True)
@@ -675,7 +814,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         progress=progress,
         shard=shard,
     )
-    metrics = [m for m in args.metrics.split(",") if m]
+    if args.metrics:
+        metrics = [m for m in args.metrics.split(",") if m]
+    else:
+        metrics = list(default_metrics(spec.backends()))
     print()
     shard_note = (
         f" shard={shard[0]}/{shard[1]} skipped={campaign.skipped}"
@@ -688,7 +830,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"memo={campaign.memo_hits}{shard_note}) in {campaign.elapsed_s:.1f}s"
     )
     print(campaign.format_table(metrics))
+    if args.json_out:
+        _write_json_record(args.json_out, campaign, metrics)
+        print(f"# wrote {args.json_out}")
     return 0
+
+
+def _finite_or_none(value: float):
+    """Non-finite floats become null: strict RFC 8259 consumers (jq,
+    JSON.parse, ...) reject the bare NaN/Infinity tokens json.dump would
+    otherwise emit for single-replication CIs or non-converged cells."""
+    return value if value == value and abs(value) != float("inf") else None
+
+
+def _write_json_record(
+    path: str, campaign: CampaignResult, metrics: Sequence[str]
+) -> None:
+    """Machine-readable campaign record (the CI bench artifact)."""
+    cells = {}
+    counts = {key: len(runs) for key, runs in campaign.by_cell().items()}
+    for metric in metrics:
+        agg = campaign.aggregate(campaign.extractor(metric))
+        for (proto, point), ci in agg.items():
+            cell = cells.setdefault(
+                f"{proto} {cell_label(point)}", {"n": counts[(proto, point)]}
+            )
+            cell[metric] = {
+                "mean": _finite_or_none(ci.mean),
+                "half_width": _finite_or_none(ci.half_width),
+            }
+    record = {
+        "schema": CACHE_SCHEMA,
+        "campaign": campaign.spec.name,
+        "backends": list(campaign.spec.backends()),
+        "size": campaign.spec.size(),
+        "executed": campaign.executed,
+        "cache_hits": campaign.cache_hits,
+        "skipped": campaign.skipped,
+        "elapsed_s": campaign.elapsed_s,
+        "metrics": list(metrics),
+        "cells": cells,
+    }
+    out_dir = os.path.dirname(path)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
 
 
 if __name__ == "__main__":

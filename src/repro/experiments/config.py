@@ -16,12 +16,19 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.core.daemons import DES_DAEMON_NAMES
-
 
 @dataclass(frozen=True)
 class ScenarioConfig:
-    """Everything needed to build and run one simulation."""
+    """Everything needed to build and run one experiment.
+
+    ``backend`` selects the executor realizing the config: ``"des"``
+    (the packet-level discrete-event simulator) or ``"rounds"`` (the
+    round-model stabilization engine) — see
+    :mod:`repro.experiments.backends`.  Backend-specific constraints
+    (e.g. which activation daemons are legal) are checked by the
+    backend's ``validate``, invoked from ``__post_init__`` so invalid
+    configs still fail at construction.
+    """
 
     # protocol under test ("ss-spst", "ss-spst-t", "ss-spst-f",
     # "ss-spst-e", "maodv", "odmrp", "flooding")
@@ -63,7 +70,8 @@ class ScenarioConfig:
     # MANET setting), "randomized" (alias of the same jittered
     # discipline), "synchronous" (lockstep ticks), "central" (id-order
     # staggered ticks), "weakly-fair" (heavy bounded jitter).  The
-    # round-model-only "adversarial-max-cost" daemon is rejected here.
+    # round-model-only "adversarial-max-cost" daemon is accepted on the
+    # rounds backend and rejected by the DES backend's validate.
     # On-demand protocols (maodv/odmrp/flooding) have no beacon clock and
     # ignore the axis.
     daemon: str = "distributed"
@@ -78,6 +86,11 @@ class ScenarioConfig:
     availability_probe_interval: float = 1.0
     seed: int = 1
 
+    # executor: "des" (packet-level simulator) or "rounds" (round-model
+    # stabilization engine).  Hash-neutral at "des" so pre-backend cache
+    # entries keep hitting.
+    backend: str = "des"
+
     def __post_init__(self) -> None:
         if self.group_size < 2 or self.group_size > self.n_nodes:
             raise ValueError("group_size must be in [2, n_nodes]")
@@ -85,12 +98,13 @@ class ScenarioConfig:
             raise ValueError("v_min must be > 0 (Noble fix)")
         if self.sim_time <= self.traffic_start:
             raise ValueError("sim_time must exceed traffic_start")
-        if self.daemon not in DES_DAEMON_NAMES:
-            raise ValueError(
-                f"daemon {self.daemon!r} has no DES realization; choose "
-                f"from {sorted(DES_DAEMON_NAMES)} (the adversarial daemon "
-                f"is round-model only)"
-            )
+        # Backend-specific constraints (daemon legality, protocol
+        # realizability) live with the backend; delegating keeps
+        # construction fail-fast.  Imported lazily: backends imports this
+        # module for the config type.
+        from repro.experiments.backends import backend_by_name
+
+        backend_by_name(self.backend).validate(self)
 
     # ------------------------------------------------------------------
     def replace(self, **kwargs) -> "ScenarioConfig":

@@ -15,8 +15,9 @@ individual cells carry seed noise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
+from repro.core.daemons import DAEMON_NAMES
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.sweeps import Sweep, SweepResult
 
@@ -53,13 +54,22 @@ def _increasing_ends(series: List[float], slack: float = 0.02) -> bool:
 
 @dataclass
 class FigureDef:
-    """A reproducible figure."""
+    """A reproducible figure.
+
+    ``extract`` is either a callable over run results or a **metric
+    name** resolved through the backend's typed
+    :class:`~repro.experiments.backends.MetricSpec` registry (the
+    backend-agnostic form).  ``extra_grid`` adds secondary campaign axes
+    beyond the plotted ``x_name`` — e.g. figd02's activation-daemon axis
+    — which the campaign CLI runs in full while :meth:`sweep` plots the
+    primary axis at the base config.
+    """
 
     fig_id: str
     title: str
     x_name: str
     y_name: str
-    extract: Callable
+    extract: Union[Callable, str]
     protocols: Sequence[str]
     x_quick: Sequence[float]
     x_full: Sequence[float]
@@ -67,6 +77,7 @@ class FigureDef:
     base_full: ScenarioConfig
     checks: List[ShapeCheck] = field(default_factory=list)
     notes: str = ""
+    extra_grid: Dict[str, Sequence] = field(default_factory=dict)
 
     def sweep(self, quick: bool = True, seeds: Sequence[int] = (1, 2, 3)) -> Sweep:
         return Sweep(
@@ -84,12 +95,15 @@ class FigureDef:
         cached runs — with every other figure over the same scenarios)."""
         from repro.experiments.campaign import CampaignSpec
 
+        grid = {self.x_name: tuple(self.x_quick if quick else self.x_full)}
+        for name, values in self.extra_grid.items():
+            grid[name] = tuple(values)
         return CampaignSpec.from_mapping(
             name=self.fig_id,
             base=self.base_quick if quick else self.base_full,
             protocols=tuple(self.protocols),
             seeds=tuple(seeds),
-            grid={self.x_name: tuple(self.x_quick if quick else self.x_full)},
+            grid=grid,
         )
 
     def run(
@@ -431,6 +445,52 @@ def _build_figures() -> Dict[str, FigureDef]:
         ),
     )
 
+    # ---------------------------------------------------------------- figd02
+    # Extension (not a paper figure): stabilization time vs daemon vs n on
+    # the ROUNDS backend.  The round model is orders of magnitude faster
+    # per run than the DES, so this campaign covers every registered
+    # daemon — including the round-model-only adversarial-max-cost stress
+    # schedule the DES backend rejects — at paper scale (n up to 200).
+    # The campaign CLI runs the full daemon x n grid (extra_grid); the
+    # sweep/plot view varies n under the base (distributed) daemon.
+    figs["figd02"] = FigureDef(
+        fig_id="figd02",
+        title="Stabilization Rounds vs. Network Size per Activation Daemon "
+        "(rounds backend, extension)",
+        x_name="n_nodes",
+        y_name="rounds",
+        extract="rounds",  # resolved via the rounds backend's MetricSpec
+        protocols=("ss-spst", "ss-spst-e"),
+        x_quick=(50, 200),
+        x_full=(50, 100, 150, 200),
+        base_quick=_quick(backend="rounds", group_size=20),
+        base_full=_full(backend="rounds", group_size=20),
+        extra_grid={"daemon": DAEMON_NAMES},
+        checks=[
+            (
+                "every cell stabilizes under the default daemon "
+                "(rounds finite and positive)",
+                lambda r: all(
+                    y == y and 0 < y < float("inf")
+                    for s in r.series.values()
+                    for y in s
+                ),
+            ),
+            (
+                "stabilization work does not shrink with network size",
+                lambda r: all(
+                    _increasing_ends(s, 0.5) for s in r.series.values()
+                ),
+            ),
+        ],
+        notes=(
+            "Rounds-backend topologies are the t=0 snapshot of the DES "
+            "scenario (same placement/group streams).  The adversarial "
+            "daemon rides in the campaign grid only; `--figure figd02` "
+            "through the campaign CLI covers it."
+        ),
+    )
+
     # ---------------------------------------------------------------- fig16
     figs["fig16"] = FigureDef(
         fig_id="fig16",
@@ -467,5 +527,5 @@ def _build_figures() -> Dict[str, FigureDef]:
     return figs
 
 
-#: the per-figure registry (fig07..fig16)
+#: the per-figure registry (fig07..fig16 plus the figd01/figd02 extensions)
 FIGURES: Dict[str, FigureDef] = _build_figures()

@@ -18,11 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from typing import Union
+
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import RunResult, run_scenario
 
-#: extractor: RunResult -> float (the figure's Y value)
-Extractor = Callable[[RunResult], float]
+#: extractor: result -> float (the figure's Y value), or a metric *name*
+#: resolved through the backend's MetricSpec registry (backend-agnostic)
+Extractor = Union[Callable[[RunResult], float], str]
 
 
 def _x_key(x):
@@ -111,6 +114,14 @@ class Sweep:
             progress=progress,
         )
 
+        extract = self.extract
+        if isinstance(extract, str):
+            # Metric-name extractors resolve per backend through the
+            # typed MetricSpec registry, so sweeps are backend-agnostic.
+            from repro.experiments.backends import metric_extractor
+
+            extract = metric_extractor(extract, spec.backends())
+
         series: Dict[str, List[float]] = {p: [] for p in self.protocols}
         raw: Dict[Tuple[str, object], List[RunResult]] = {}
         by_cell = campaign.by_cell()
@@ -118,7 +129,7 @@ class Sweep:
             for proto in self.protocols:
                 results = by_cell[(proto, ((self.x_name, x),))]
                 raw[(proto, _x_key(x))] = list(results)
-                ys = [self.extract(r) for r in results]
+                ys = [extract(r) for r in results]
                 finite = [y for y in ys if y == y and y != float("inf")]
                 series[proto].append(
                     sum(finite) / len(finite) if finite else float("nan")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.core.daemons import DES_DAEMON_NAMES
+from repro.core.daemons import require_des_daemon
 from repro.core.metrics import metric_by_name
 from repro.net.node import Node, ProtocolAgent
 from repro.protocols.flooding import FloodingAgent
@@ -42,11 +42,7 @@ def make_agent_factory(
     ``adversarial-max-cost`` daemon is rejected.
     """
     protocol = protocol.lower()
-    if daemon not in DES_DAEMON_NAMES:
-        raise ValueError(
-            f"daemon {daemon!r} has no DES realization; choose from "
-            f"{sorted(DES_DAEMON_NAMES)}"
-        )
+    require_des_daemon(daemon)
     if protocol in _SS_FAMILY:
         metric_name = _SS_FAMILY[protocol]
         if ss_config is not None:

@@ -55,3 +55,14 @@ def test_daemon() -> str:
     tests; any registry name works locally.
     """
     return os.environ.get("REPRO_TEST_DAEMON", "central")
+
+
+@pytest.fixture
+def test_backend() -> str:
+    """Default experiment backend for backend-generic tests.
+
+    The CI rounds leg sets ``REPRO_TEST_BACKEND=rounds`` so the campaign
+    CLI smoke exercises the round-model executor end to end; the default
+    keeps the historical DES path.
+    """
+    return os.environ.get("REPRO_TEST_BACKEND", "des")

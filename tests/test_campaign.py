@@ -15,6 +15,8 @@ import pytest
 
 from repro.experiments.campaign import (
     CACHE_SCHEMA,
+    COMPATIBLE_SCHEMAS,
+    HASH_SCHEMA,
     CampaignSpec,
     ResultCache,
     config_key,
@@ -61,22 +63,31 @@ class TestConfigKey:
         ):
             assert config_key(base.replace(**change)) != config_key(base)
 
-    def test_daemon_default_is_hash_neutral(self):
-        """Adding the daemon axis must not invalidate pre-existing caches:
-        at its default the field is dropped from the hash payload, so the
-        key equals the pre-daemon-era key (computed here the way the old
-        code did, over every other field)."""
+    def test_later_added_defaults_are_hash_neutral(self):
+        """Adding the daemon/backend axes must not invalidate pre-existing
+        caches: at their defaults the fields are dropped from the hash
+        payload, so the key equals the original era's key (computed here
+        the way the seed code did, over every other field with the
+        original ``v1`` prefix)."""
         base = fast_base()
         assert base.daemon == "distributed"
+        assert base.backend == "des"
         legacy_payload = dataclasses.asdict(base)
         del legacy_payload["daemon"]
+        del legacy_payload["backend"]
         legacy = json.dumps(legacy_payload, sort_keys=True, separators=(",", ":"))
         import hashlib
 
         expected = hashlib.sha256(
-            f"v{CACHE_SCHEMA}:{legacy}".encode("utf-8")
+            f"v{HASH_SCHEMA}:{legacy}".encode("utf-8")
         ).hexdigest()[:24]
         assert config_key(base) == expected
+
+    def test_hash_schema_decoupled_from_record_schema(self):
+        """Bumping the record layout (CACHE_SCHEMA) must not re-key the
+        cache: the hash prefix stays at the semantic version."""
+        assert HASH_SCHEMA == 1
+        assert CACHE_SCHEMA in COMPATIBLE_SCHEMAS
 
     def test_pre_daemon_cache_record_still_loads(self, tmp_path):
         """A record written before the daemon field existed (no 'daemon'
