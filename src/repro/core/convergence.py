@@ -40,13 +40,17 @@ def engine_for(
     *,
     incremental: bool = True,
     rng: Optional[np.random.Generator] = None,
+    **daemon_options,
 ) -> RoundEngine:
     """Accept either an engine or a daemon name.
 
     The one construction path shared by the lemma checkers and the
     ``rounds`` experiment backend: a name builds an incremental engine
     (bit-identical to full evaluation, usually much cheaper) with a
-    deterministic rng unless one is supplied.
+    deterministic rng unless one is supplied.  Extra keyword options
+    reach the named daemon's constructor (e.g. ``k=`` for the
+    distributed daemon — the ``daemon_k`` scenario knob); passing them
+    with an engine instance is an error, mirroring ``RoundEngine``.
     """
     if isinstance(executor, str):
         return RoundEngine(
@@ -55,7 +59,10 @@ def engine_for(
             daemon=executor,
             incremental=incremental,
             rng=np.random.default_rng(0) if rng is None else rng,
+            **daemon_options,
         )
+    if daemon_options:
+        raise ValueError("daemon options require a daemon given by name")
     return executor
 
 

@@ -26,6 +26,15 @@ from repro.experiments.backends import (
 )
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import run_scenario, RunResult
+from repro.experiments.scenario_models import (
+    AXES,
+    DEFAULT_MODELS,
+    MODEL_NAMES,
+    ScenarioModel,
+    build_scenario_space,
+    effective_arena,
+    model_by_name,
+)
 from repro.experiments.sweeps import Sweep, SweepResult, run_sweep
 from repro.experiments.lifetime import LifetimeResult, compare_lifetimes, run_lifetime
 
@@ -57,6 +66,13 @@ __all__ = [
     "ScenarioConfig",
     "run_scenario",
     "RunResult",
+    "AXES",
+    "DEFAULT_MODELS",
+    "MODEL_NAMES",
+    "ScenarioModel",
+    "build_scenario_space",
+    "effective_arena",
+    "model_by_name",
     "Sweep",
     "SweepResult",
     "run_sweep",

@@ -41,6 +41,7 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 from repro.core.daemons import DAEMON_NAMES, require_des_daemon
 from repro.core.metrics import PROTOCOL_LABELS
 from repro.experiments.config import ScenarioConfig
+from repro.experiments.scenario_models import validate_models
 
 #: protocol name -> round-model metric name (the SS-SPST family; the
 #: on-demand baselines have no round-model realization)
@@ -171,12 +172,27 @@ class DesBackend(ExperimentBackend):
         "events_executed",
         "frames_sent",
         "frames_collided",
+        "link_breaks_per_s",
+        "link_events_per_s",
+        "mean_degree",
+        "partition_fraction",
     )
+
+    #: per-field defaults for records written before a diagnostic existed
+    #: (counters default to 0; the mobility-profile floats to nan so old
+    #: records aggregate as "unknown", not "zero churn")
+    DIAGNOSTIC_DEFAULTS = {
+        "link_breaks_per_s": float("nan"),
+        "link_events_per_s": float("nan"),
+        "mean_degree": float("nan"),
+        "partition_fraction": float("nan"),
+    }
 
     def validate(self, config: ScenarioConfig) -> None:
         # The round-model-only adversarial daemon has no beacon-schedule
         # realization; same message the config itself used to raise.
         require_des_daemon(config.daemon)
+        validate_models(config, self.name)
 
     def run(self, config: ScenarioConfig):
         from repro.experiments.runner import run_scenario
@@ -208,7 +224,10 @@ class DesBackend(ExperimentBackend):
                 )
             ),
             config=config_from_record(record["config"]),
-            **{f: diagnostics.get(f, 0) for f in self.DIAGNOSTIC_FIELDS},
+            **{
+                f: diagnostics.get(f, self.DIAGNOSTIC_DEFAULTS.get(f, 0))
+                for f in self.DIAGNOSTIC_FIELDS
+            },
         )
 
     def metrics(self) -> Dict[str, MetricSpec]:
@@ -238,6 +257,26 @@ class DesBackend(ExperimentBackend):
             MetricSpec("events_executed", "DES kernel events executed"),
             MetricSpec("frames_sent", "MAC frames transmitted"),
             MetricSpec("frames_collided", "MAC frames lost to collisions"),
+            MetricSpec(
+                "link_breaks_per_s",
+                "link breaks per second of the mobility scenario "
+                "(the fault rate self-stabilization absorbs)",
+                "1/s",
+            ),
+            MetricSpec(
+                "link_events_per_s",
+                "all link births + breaks per second of the mobility scenario",
+                "1/s",
+            ),
+            MetricSpec(
+                "mean_degree",
+                "time-averaged unit-disk neighbor count of the scenario",
+            ),
+            MetricSpec(
+                "partition_fraction",
+                "fraction of sampled instants the topology was disconnected "
+                "(a structural ceiling on PDR)",
+            ),
         ]
         return {s.name: s for s in specs}
 
@@ -294,40 +333,26 @@ class RoundRunResult:
 def build_round_scenario(config: ScenarioConfig):
     """``(topology, metric)`` for a config's round-model realization.
 
-    Node placement and multicast group come from the *same* named RNG
-    substreams the DES runner uses (``mobility`` for positions, ``group``
-    for receivers), so this is the t = 0 snapshot of the DES scenario:
-    identical placement, identical group, for every protocol sharing the
+    The scenario structure comes from the config's scenario models via
+    :func:`~repro.experiments.scenario_models.build_scenario_space` —
+    the *identical* named-RNG-substream path the DES runner builds from —
+    so this is the t = 0 snapshot of the DES scenario: same placement,
+    same mobility starting point, same multicast group, for every
+    placement/mobility/membership model and every protocol sharing the
     seed.  The metric is the config protocol's SS-SPST cost metric over
     the config's radio constants.
     """
-    import numpy as np
-
     from repro.core.metrics import metric_by_name
     from repro.energy.radio import FirstOrderRadioModel
+    from repro.experiments.scenario_models import build_scenario_space
     from repro.graph.topology import Topology
-    from repro.mobility.random_waypoint import RandomWaypoint
-    from repro.util.geometry import Arena
-    from repro.util.rng import RngStreams
 
-    streams = RngStreams(config.seed)
-    mobility = RandomWaypoint(
-        config.n_nodes,
-        Arena(config.arena_w, config.arena_h),
-        v_min=config.v_min,
-        v_max=config.v_max,
-        pause_time=config.pause_time,
-        rng=streams.get("mobility"),
-    )
-    positions = mobility.positions(0.0)
-    receivers = streams.get("group").choice(
-        np.arange(1, config.n_nodes), size=config.group_size - 1, replace=False
-    )
+    space = build_scenario_space(config)
     topo = Topology.from_positions(
-        positions,
+        space.mobility.positions(0.0),
         config.max_range,
-        source=0,
-        members=[int(r) for r in receivers],
+        source=space.source,
+        members=space.receivers,
     )
     radio = FirstOrderRadioModel(
         e_elec=config.e_elec,
@@ -364,6 +389,7 @@ class RoundsBackend(ExperimentBackend):
                 f"realization; the rounds backend models the SS-SPST "
                 f"family {sorted(SS_PROTOCOL_METRICS)}"
             )
+        validate_models(config, self.name)
 
     def run(self, config: ScenarioConfig) -> RoundRunResult:
         from repro.core.convergence import engine_for
@@ -373,8 +399,14 @@ class RoundsBackend(ExperimentBackend):
 
         topo, metric = build_round_scenario(config)
         streams = RngStreams(config.seed)
+        # The distributed daemon's local-parallel width is a config knob
+        # (daemon_k); other daemons take no options.
+        daemon_kwargs = (
+            {"k": config.daemon_k} if config.daemon == "distributed" else {}
+        )
         engine = engine_for(
-            topo, metric, config.daemon, rng=streams.get("daemon")
+            topo, metric, config.daemon, rng=streams.get("daemon"),
+            **daemon_kwargs,
         )
         settled = engine.run(fresh_states(topo, metric))
 
@@ -392,7 +424,8 @@ class RoundsBackend(ExperimentBackend):
                 hop=st.hop,
             )
             rec_engine = engine_for(
-                topo, metric, config.daemon, rng=streams.get("recovery")
+                topo, metric, config.daemon, rng=streams.get("recovery"),
+                **daemon_kwargs,
             )
             rec = rec_engine.run_perturbed(list(settled.states), [(v, corrupted)])
             recovery = (

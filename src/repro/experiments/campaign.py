@@ -97,6 +97,15 @@ _DIAGNOSTIC_FIELDS = DesBackend.DIAGNOSTIC_FIELDS
 _HASH_NEUTRAL_DEFAULTS: Dict[str, object] = {
     "daemon": "distributed",
     "backend": "des",
+    # scenario-model axes (PR 5): the paper's scenario is the default on
+    # every axis, so default configs keep their pre-model-API hashes
+    "placement": "uniform",
+    "mobility": "waypoint",
+    "membership": "static-random",
+    "traffic": "cbr",
+    "model_params": (),
+    "daemon_k": 4,
+    "density_ref_n": 0,
 }
 
 
@@ -105,6 +114,14 @@ def _hash_payload(config: ScenarioConfig) -> Dict[str, object]:
     for name, default in _HASH_NEUTRAL_DEFAULTS.items():
         if payload.get(name) == default:
             del payload[name]
+    # External scenario inputs (the trace file) join the identity by
+    # *content*: editing the file must fork the cache key, not serve
+    # stale results computed from the old trajectories.
+    from repro.experiments.scenario_models import scenario_content_fingerprint
+
+    fingerprint = scenario_content_fingerprint(config)
+    if fingerprint is not None:
+        payload["scenario_content"] = fingerprint
     return payload
 
 
@@ -185,13 +202,23 @@ class ResultCache:
         if record.get("backend", "des") != config.backend:
             return None  # a foreign backend's record cannot impersonate
         stored = record.get("config")
-        if isinstance(stored, dict):
-            # Records written before a hash-neutral field existed lack it;
-            # they describe the default behavior by construction.
-            stored = {**_HASH_NEUTRAL_DEFAULTS, **stored}
-        if stored != dataclasses.asdict(config):
+        if not isinstance(stored, dict):
+            return None
+        known = {f.name for f in dataclasses.fields(ScenarioConfig)}
+        if not set(stored) <= known:
+            return None  # a future era's record cannot impersonate
+        # Records written before a hash-neutral field existed lack it;
+        # they describe the default behavior by construction.  Rebuilding
+        # the config normalizes JSON artifacts (model_params round-trips
+        # as lists of lists) before the identity comparison.
+        stored = {**_HASH_NEUTRAL_DEFAULTS, **stored}
+        try:
+            rebuilt = ScenarioConfig(**stored)
+        except (TypeError, ValueError):
+            return None  # unconstructible record (hand-edited file)
+        if rebuilt != config:
             return None  # hash collision or hand-edited file
-        record["config"] = stored
+        record["config"] = dataclasses.asdict(rebuilt)
         return record
 
     def store(self, config: ScenarioConfig, record: dict) -> str:
@@ -527,12 +554,39 @@ def _coerce(field_name: str, raw: str):
             f"unknown ScenarioConfig field {field_name!r}; choose from "
             f"{sorted(types)}"
         )
+    if field_name == "model_params":
+        raise SystemExit(
+            "model_params is not settable as a flat field; use "
+            "--model-param KEY=VALUE (repeatable)"
+        )
     typ = types[field_name]
     if typ is int:
         return int(raw)
     if typ is float:
         return float(raw)
     return raw
+
+
+def _coerce_param_value(raw: str):
+    """Model-param values: int if it parses, else float, else string."""
+    for parse in (int, float):
+        try:
+            return parse(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _parse_model_params(items: List[str]) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    for item in items:
+        if "=" not in item:
+            raise SystemExit(
+                f"--model-param expects key=value (got {item!r})"
+            )
+        key, _, value = item.partition("=")
+        params[key] = _coerce_param_value(value)
+    return params
 
 
 def _parse_grid(specs: List[str]) -> Dict[str, Tuple]:
@@ -554,8 +608,8 @@ def build_parser() -> argparse.ArgumentParser:
     what = parser.add_argument_group("what to run")
     what.add_argument(
         "--figure",
-        help="run a figure's grid (fig07..fig16, or the figd01/figd02 "
-        "extensions) instead of --grid",
+        help="run a figure's grid (fig07..fig16, or the figd01/figd02/"
+        "figm01 extensions) instead of --grid",
     )
     what.add_argument(
         "--backend",
@@ -584,6 +638,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FIELD=VALUE",
         dest="overrides",
         help="override a base-config field; repeatable",
+    )
+    what.add_argument(
+        "--model-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        dest="model_params",
+        help="scenario-model sub-parameter merged into the base config's "
+        "model_params (e.g. gm_alpha=0.7, rotation_period=30, "
+        "trace_file=scen.json); repeatable.  Keys must be accepted by a "
+        "resolved placement/mobility/membership/traffic model",
     )
     what.add_argument("--seeds", default="1,2,3", help="comma-separated seeds")
     what.add_argument(
@@ -707,11 +772,23 @@ def _merge_backend_flag(
     overrides["backend"] = backend
 
 
+def _apply_model_params(
+    base: ScenarioConfig, params: Dict[str, object]
+) -> ScenarioConfig:
+    """Merge ``--model-param`` pairs over the base's ``model_params``."""
+    if not params:
+        return base
+    merged = dict(base.model_params)
+    merged.update(params)
+    return base.replace(model_params=merged)
+
+
 def spec_from_args(args) -> CampaignSpec:
     seeds = tuple(int(s) for s in args.seeds.split(",") if s)
     # All overrides are applied in one replace(): interdependent fields
     # (n_nodes + group_size) would otherwise fail validation midway.
     overrides = _parse_overrides(args.overrides)
+    model_params = _parse_model_params(getattr(args, "model_params", []))
     backend_flag = getattr(args, "backend", None)
     if args.figure:
         from repro.experiments.figures import FIGURES
@@ -732,9 +809,10 @@ def spec_from_args(args) -> CampaignSpec:
                 (name for name, _ in spec.grid),
                 f"figure {args.figure}",
             )
-            spec = dataclasses.replace(
-                spec, base=spec.base.replace(**overrides)
-            )
+        base = spec.base.replace(**overrides) if overrides else spec.base
+        base = _apply_model_params(base, model_params)
+        if base is not spec.base:
+            spec = dataclasses.replace(spec, base=base)
         return spec
     grid = _parse_grid(args.grid)
     _merge_backend_flag(overrides, backend_flag, grid)
@@ -742,6 +820,7 @@ def spec_from_args(args) -> CampaignSpec:
     base = ScenarioConfig.paper_scale() if args.paper else ScenarioConfig.quick()
     if overrides:
         base = base.replace(**overrides)
+    base = _apply_model_params(base, model_params)
     return CampaignSpec.from_mapping(
         name=args.name,
         base=base,
@@ -776,6 +855,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.cache_dir and os.path.isdir(args.cache_dir)
             else None
         )
+        from repro.experiments.scenario_models import (
+            non_default_axes,
+            plan_lines,
+        )
+
         warm = mine_count = 0
         for cfg in configs:
             marker = ""
@@ -786,15 +870,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if cache is not None and cache.load(cfg) is not None:
                 warm += 1
                 marker += "  [cached]"
+            # Non-default scenario models ride on the run line so sharded
+            # operators can audit exactly what a grid cell will build.
+            models = "".join(
+                f" {axis}={value}"
+                for axis, value in non_default_axes(cfg).items()
+            )
             print(
                 f"{config_key(cfg)} {cfg.backend:>6s} {cfg.protocol} "
-                f"daemon={cfg.daemon} seed={cfg.seed}{marker}"
+                f"daemon={cfg.daemon} seed={cfg.seed}{models}{marker}"
             )
         print(
             f"# {spec.size()} runs = {len(spec.cells())} cells "
             f"x {len(spec.seeds)} seeds"
         )
         print(f"# backend(s): {','.join(spec.backends())}")
+        for line in plan_lines(configs):
+            print(line)
         if shard is not None:
             print(
                 f"# shard {shard[0]}/{shard[1]}: mine={mine_count} "

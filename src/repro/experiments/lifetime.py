@@ -16,9 +16,9 @@ from typing import Dict, List, Optional
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import build_network
+from repro.experiments.scenario_models import resolved_models
 from repro.metrics.hub import MetricsHub
 from repro.protocols.registry import make_agent_factory
-from repro.traffic.cbr import CbrSource
 
 
 @dataclass
@@ -63,14 +63,19 @@ def run_lifetime(
             lambda nid=node.id: deaths.append(sim.now)
         )
 
-    network.attach_agents(make_agent_factory(config.protocol))
+    network.attach_agents(
+        make_agent_factory(
+            config.protocol,
+            beacon_interval=config.beacon_interval,
+            daemon=config.daemon,
+        )
+    )
     network.start()
-    CbrSource(
-        network,
-        rate_kbps=config.rate_kbps,
-        packet_bytes=config.packet_bytes,
-        start_time=config.traffic_start,
-    ).start()
+    # The config's scenario models drive the workload and any mid-run
+    # membership churn, exactly as in run_scenario.
+    models = resolved_models(config)
+    models["traffic"].build(network, config).start()
+    models["membership"].install(network, config)
     sim.run(until=config.sim_time)
 
     summary = hub.summary(network.total_energy())

@@ -5,21 +5,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
-
 from repro.energy.radio import FirstOrderRadioModel
 from repro.experiments.config import ScenarioConfig
+from repro.experiments.scenario_models import (
+    build_scenario_space,
+    resolved_models,
+)
 from repro.metrics.hub import MetricsHub, RunSummary
-from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.analysis import mobility_profile
 from repro.net.mac import MacConfig
 from repro.net.node import Network
 from repro.protocols.registry import make_agent_factory
 from repro.protocols.ss_spst import SSSPSTAgent
 from repro.sim.kernel import Simulator
 from repro.sim.timers import PeriodicTimer
-from repro.traffic.cbr import CbrSource
-from repro.util.geometry import Arena
-from repro.util.rng import RngStreams
+
+#: adjacency sampling step (seconds) for the per-run mobility profile
+CHURN_SAMPLE_DT = 1.0
 
 
 @dataclass
@@ -32,6 +34,14 @@ class RunResult:
     events_executed: int
     frames_sent: int
     frames_collided: int
+    # Mobility fault-process diagnostics (repro.mobility.analysis),
+    # sampled from a replay of the run's mobility model: link breaks are
+    # the "faults" self-stabilization absorbs, partitioning the ceiling
+    # on any protocol's PDR.  nan in records written before these existed.
+    link_breaks_per_s: float = float("nan")
+    link_events_per_s: float = float("nan")
+    mean_degree: float = float("nan")
+    partition_fraction: float = float("nan")
 
     def __getattr__(self, item):
         # Convenience passthrough: result.pdr == result.summary.pdr.
@@ -49,18 +59,15 @@ class RunResult:
 
 
 def build_network(config: ScenarioConfig):
-    """Construct simulator + network + group from a config (no agents)."""
+    """Construct simulator + network + group from a config (no agents).
+
+    The scenario structure — arena, initial placement, mobility process,
+    multicast group — comes from the config's scenario models via
+    :func:`~repro.experiments.scenario_models.build_scenario_space`, the
+    same path the rounds backend snapshots at t = 0.
+    """
     sim = Simulator()
-    streams = RngStreams(config.seed)
-    arena = Arena(config.arena_w, config.arena_h)
-    mobility = RandomWaypoint(
-        config.n_nodes,
-        arena,
-        v_min=config.v_min,
-        v_max=config.v_max,
-        pause_time=config.pause_time,
-        rng=streams.get("mobility"),
-    )
+    space = build_scenario_space(config)
     radio = FirstOrderRadioModel(
         e_elec=config.e_elec,
         e_rx=config.e_rx,
@@ -71,19 +78,15 @@ def build_network(config: ScenarioConfig):
     )
     network = Network(
         sim,
-        mobility,
+        space.mobility,
         radio,
-        streams,
+        space.streams,
         mac_config=MacConfig(),
         bitrate_bps=config.bitrate_bps,
         loss_prob=config.loss_prob,
         capture_threshold=config.capture_threshold,
     )
-    # Group: source 0 plus group_size - 1 receivers drawn from the rest.
-    receivers = streams.get("group").choice(
-        np.arange(1, config.n_nodes), size=config.group_size - 1, replace=False
-    )
-    network.set_group(source=0, members=[int(r) for r in receivers])
+    network.set_group(source=space.source, members=space.receivers)
     return sim, network
 
 
@@ -112,19 +115,18 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
     )
     network.start()
 
-    traffic = CbrSource(
-        network,
-        rate_kbps=config.rate_kbps,
-        packet_bytes=config.packet_bytes,
-        start_time=config.traffic_start,
-    )
+    models = resolved_models(config)
+    traffic = models["traffic"].build(network, config)
     traffic.start()
+    # Membership models may schedule mid-run join/leave events (rotating).
+    models["membership"].install(network, config)
 
-    receivers = network.receivers
+    # The probed set is read live: rotating membership changes who the
+    # receivers are mid-run (a no-op for static memberships).
     prober = PeriodicTimer(
         sim,
         config.availability_probe_interval,
-        lambda: hub.probe_availability(receivers, sim.now),
+        lambda: hub.probe_availability(network.receivers, sim.now),
         start_offset=config.traffic_start + config.availability_probe_interval,
     )
 
@@ -139,6 +141,7 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
         for node in network.nodes
         if isinstance(node.agent, SSSPSTAgent)
     )
+    profile = _mobility_profile(config)
     return RunResult(
         summary=hub.summary(network.total_energy()),
         config=config,
@@ -146,7 +149,59 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
         events_executed=sim.events_executed,
         frames_sent=network.medium.stats.frames_sent,
         frames_collided=network.medium.stats.frames_collided,
+        link_breaks_per_s=profile.churn.break_rate,
+        link_events_per_s=profile.churn.event_rate,
+        mean_degree=profile.churn.mean_degree,
+        partition_fraction=profile.partition_fraction,
     )
+
+
+#: config fields the mobility trajectory (and so the profile) depends on
+_PROFILE_FIELDS = (
+    "seed",
+    "n_nodes",
+    "arena_w",
+    "arena_h",
+    "density_ref_n",
+    "placement",
+    "mobility",
+    "model_params",
+    "v_min",
+    "v_max",
+    "pause_time",
+    "max_range",
+    "sim_time",
+)
+
+#: per-process profile memo — protocol/daemon sweeps share one scenario
+#: per seed ("we used the same scenarios for all the protocols"), so the
+#: replay is computed once per scenario, not once per run
+_PROFILE_MEMO: Dict[tuple, object] = {}
+
+
+def _mobility_profile(config: ScenarioConfig):
+    """Fault-process statistics of the run's mobility scenario.
+
+    Mobility models advance lazily and reject backwards queries, so the
+    simulation's own (now-exhausted) model cannot be resampled; a fresh
+    scenario space replays the identical trajectory from the same seed.
+    Memoized on the trajectory-relevant config fields because the
+    profile is protocol-independent.
+    """
+    key = tuple(getattr(config, f) for f in _PROFILE_FIELDS)
+    profile = _PROFILE_MEMO.get(key)
+    if profile is None:
+        replay = build_scenario_space(config).mobility
+        profile = mobility_profile(
+            replay,
+            config.max_range,
+            duration=config.sim_time,
+            dt=CHURN_SAMPLE_DT,
+        )
+        if len(_PROFILE_MEMO) >= 256:  # bound worker-process memory
+            _PROFILE_MEMO.clear()
+        _PROFILE_MEMO[key] = profile
+    return profile
 
 
 def _packets_per_second(config: ScenarioConfig) -> float:

@@ -18,8 +18,14 @@ from repro.mobility.static import StaticPlacement
 from repro.mobility.random_waypoint import RandomWaypoint
 from repro.mobility.random_walk import RandomWalk
 from repro.mobility.gauss_markov import GaussMarkov
-from repro.mobility.trace import TraceMobility
-from repro.mobility.analysis import LinkChurnStats, link_churn, partition_fraction
+from repro.mobility.trace import TraceMobility, load_trace_file
+from repro.mobility.analysis import (
+    LinkChurnStats,
+    MobilityProfile,
+    link_churn,
+    mobility_profile,
+    partition_fraction,
+)
 
 __all__ = [
     "MobilityModel",
@@ -28,7 +34,10 @@ __all__ = [
     "RandomWalk",
     "GaussMarkov",
     "TraceMobility",
+    "load_trace_file",
     "LinkChurnStats",
+    "MobilityProfile",
     "link_churn",
+    "mobility_profile",
     "partition_fraction",
 ]

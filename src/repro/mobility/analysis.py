@@ -46,11 +46,38 @@ def link_churn(
     t0: float = 0.0,
 ) -> LinkChurnStats:
     """Sample the adjacency every ``dt`` and count link transitions."""
+    return mobility_profile(mobility, max_range, duration, dt=dt, t0=t0).churn
+
+
+@dataclass(frozen=True)
+class MobilityProfile:
+    """One-pass combination of :func:`link_churn` and
+    :func:`partition_fraction` over the same sample grid (the per-run
+    fault-process diagnostics the DES backend reports)."""
+
+    churn: LinkChurnStats
+    partition_fraction: float
+
+
+def mobility_profile(
+    mobility: MobilityModel,
+    max_range: float,
+    duration: float,
+    dt: float = 1.0,
+    t0: float = 0.0,
+) -> MobilityProfile:
+    """Sample adjacency once and derive churn *and* partition statistics.
+
+    Mobility models advance lazily and reject backwards queries, so
+    computing churn and partitioning separately would need two model
+    instances; this single pass is what the experiment runner uses to
+    attach fault-process diagnostics to every DES run.
+    """
     if duration <= 0 or dt <= 0:
         raise ValueError("duration and dt must be positive")
     times = np.arange(t0, t0 + duration + 1e-9, dt)
     prev = None
-    breaks = births = 0
+    breaks = births = disconnected = 0
     degrees = []
     for t in times:
         pos = mobility.positions(float(t))
@@ -63,13 +90,33 @@ def link_churn(
             breaks += int(np.count_nonzero(p & ~a))
             births += int(np.count_nonzero(~p & a))
         prev = adj
-    return LinkChurnStats(
-        duration=float(times[-1] - times[0]),
-        link_breaks=breaks,
-        link_births=births,
-        mean_degree=float(np.mean(degrees)),
-        samples=len(times),
+        if not _connected(adj):
+            disconnected += 1
+    return MobilityProfile(
+        churn=LinkChurnStats(
+            duration=float(times[-1] - times[0]),
+            link_breaks=breaks,
+            link_births=births,
+            mean_degree=float(np.mean(degrees)),
+            samples=len(times),
+        ),
+        partition_fraction=disconnected / len(times),
     )
+
+
+def _connected(adj: np.ndarray) -> bool:
+    """Reachability of every node from node 0 in a boolean adjacency."""
+    n = adj.shape[0]
+    seen = np.zeros(n, dtype=bool)
+    stack = [0]
+    seen[0] = True
+    while stack:
+        v = stack.pop()
+        for u in np.nonzero(adj[v])[0]:
+            if not seen[u]:
+                seen[u] = True
+                stack.append(int(u))
+    return bool(seen.all())
 
 
 def partition_fraction(
@@ -84,22 +131,6 @@ def partition_fraction(
     A structural ceiling on any protocol's PDR: packets cannot cross a
     partition regardless of routing.
     """
-    times = np.arange(t0, t0 + duration + 1e-9, dt)
-    disconnected = 0
-    for t in times:
-        pos = mobility.positions(float(t))
-        d = pairwise_distances(pos)
-        adj = (d <= max_range) & (d > 0.0)
-        n = adj.shape[0]
-        seen = np.zeros(n, dtype=bool)
-        stack = [0]
-        seen[0] = True
-        while stack:
-            v = stack.pop()
-            for u in np.nonzero(adj[v])[0]:
-                if not seen[u]:
-                    seen[u] = True
-                    stack.append(int(u))
-        if not seen.all():
-            disconnected += 1
-    return disconnected / len(times)
+    return mobility_profile(
+        mobility, max_range, duration, dt=dt, t0=t0
+    ).partition_fraction

@@ -7,6 +7,7 @@ the way the paper replayed ns-2 ``setdest`` scenarios.
 
 from __future__ import annotations
 
+import json
 from bisect import bisect_right
 from typing import List, Sequence, Tuple
 
@@ -16,6 +17,36 @@ from repro.mobility.base import MobilityModel
 from repro.util.geometry import Arena
 
 Waypoint = Tuple[float, float, float]  # (time, x, y)
+
+
+def load_trace_file(path: str) -> List[List[Waypoint]]:
+    """Read per-node waypoint lists from a JSON scenario file.
+
+    The format is the JSON image of the :class:`TraceMobility`
+    constructor argument — a list (one entry per node) of ``[t, x, y]``
+    waypoint lists::
+
+        [[[0, 10, 10], [30, 200, 10]],     # node 0
+         [[0, 50, 50]]]                    # node 1 (parked)
+
+    This is the interchange format for replaying externally generated
+    scenarios (the role ns-2 ``setdest`` files played for the paper);
+    the ``trace`` mobility model of the scenario API loads it via the
+    ``trace_file`` model parameter.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = json.load(fh)
+    if not isinstance(raw, list) or not raw:
+        raise ValueError(f"trace file {path!r} must hold a non-empty list of traces")
+    traces: List[List[Waypoint]] = []
+    for i, tr in enumerate(raw):
+        try:
+            traces.append([(float(t), float(x), float(y)) for t, x, y in tr])
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"trace file {path!r}, node {i}: waypoints must be [t, x, y] triples"
+            ) from exc
+    return traces
 
 
 class TraceMobility(MobilityModel):

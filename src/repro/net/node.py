@@ -62,6 +62,17 @@ class ProtocolAgent(abc.ABC):
     def on_node_death(self) -> None:  # pragma: no cover - default no-op
         """Called if the node's battery depletes."""
 
+    def on_membership_change(self) -> None:
+        """Called when this node joins or leaves the multicast group
+        mid-run (the ``rotating`` membership model).
+
+        The default is a no-op: agents that read ``self.is_member`` live
+        (SS-SPST flag derivation, ODMRP replies, flooding delivery) adapt
+        automatically.  Agents that latch membership into timers at
+        :meth:`start` (MAODV's rejoin clock) override this to
+        start/stop that machinery.
+        """
+
 
 class Node:
     """One mobile host: identity, energy state, MAC, protocol agent."""
@@ -227,6 +238,31 @@ class Network:
         self.nodes[source].is_member = True
         for m in members:
             self.nodes[m].is_member = True
+
+    def update_membership(
+        self, joins: Sequence[NodeId] = (), leaves: Sequence[NodeId] = ()
+    ) -> None:
+        """Apply mid-run group churn (the ``rotating`` membership model).
+
+        The source can never leave (the session is rooted there); changed
+        nodes get their agent's :meth:`ProtocolAgent.on_membership_change`
+        hook so membership-latched timers can react.
+        """
+        changed = []
+        for v in leaves:
+            if self.nodes[v].is_source:
+                raise ValueError("the multicast source cannot leave the group")
+            if self.nodes[v].is_member:
+                self.nodes[v].is_member = False
+                changed.append(v)
+        for v in joins:
+            if not self.nodes[v].is_member:
+                self.nodes[v].is_member = True
+                changed.append(v)
+        for v in changed:
+            agent = self.nodes[v].agent
+            if agent is not None:
+                agent.on_membership_change()
 
     @property
     def members(self) -> Set[NodeId]:

@@ -69,6 +69,7 @@ class MaodvAgent(MulticastAgent):
         self._hello_seq = 0
         self._rreq_seq = 0
         self._timers = []
+        self._member_timer = None  # rejoin clock (members only)
         self.control_frames = {"rreq": 0, "rrep": 0, "mact": 0, "hello": 0}
 
     # ------------------------------------------------------------------
@@ -86,20 +87,39 @@ class MaodvAgent(MulticastAgent):
                 )
             )
         elif self.is_member:
-            self._timers.append(
-                PeriodicTimer(
-                    self.sim,
-                    self.config.rreq_retry_interval,
-                    self._maybe_rejoin,
-                    jitter=self.config.jitter,
-                    rng=rng,
-                    start_offset=float(rng.uniform(0.0, 1.0)),
-                )
-            )
+            self._start_member_timer()
+
+    def _start_member_timer(self) -> None:
+        rng = self.network.streams.get(f"maodv.{self.node.id}")
+        self._member_timer = PeriodicTimer(
+            self.sim,
+            self.config.rreq_retry_interval,
+            self._maybe_rejoin,
+            jitter=self.config.jitter,
+            rng=rng,
+            start_offset=float(rng.uniform(0.0, 1.0)),
+        )
+
+    def on_membership_change(self) -> None:
+        """MAODV latches membership into its rejoin clock at start; group
+        churn (the ``rotating`` membership model) starts/stops it.  A
+        leaver keeps any forwarding state until ``tree_timeout`` expires
+        — the protocol's own soft-state pruning — it just stops asking to
+        rejoin."""
+        if self.is_source:
+            return
+        if self.is_member and self._member_timer is None:
+            self._start_member_timer()
+        elif not self.is_member and self._member_timer is not None:
+            self._member_timer.stop()
+            self._member_timer = None
 
     def stop(self) -> None:
         for t in self._timers:
             t.stop()
+        if self._member_timer is not None:
+            self._member_timer.stop()
+            self._member_timer = None
 
     def on_node_death(self) -> None:
         self.stop()

@@ -1,5 +1,13 @@
-"""Application traffic generators."""
+"""Application traffic generators.
+
+All sources share one duck-typed contract — ``start()`` / ``stop()`` /
+``packets_sent`` — so the experiment runner can drive any of them; the
+``traffic`` axis of the scenario-model API selects which
+(:mod:`repro.experiments.scenario_models`).
+"""
 
 from repro.traffic.cbr import CbrSource
+from repro.traffic.multiflow import MultiFlowSource
+from repro.traffic.onoff import OnOffSource
 
-__all__ = ["CbrSource"]
+__all__ = ["CbrSource", "MultiFlowSource", "OnOffSource"]

@@ -1,0 +1,72 @@
+"""Multi-flow multicast source: several interleaved CBR sub-flows.
+
+Models a multicast session carrying multiple application flows (audio +
+slides, sensor channels, ...): ``flows`` independent CBR streams at the
+multicast source, each at ``rate_kbps / flows``, with independent random
+phase offsets drawn from the ``traffic.multiflow`` substream.  The
+aggregate rate equals the configured rate, but packet arrivals lose the
+metronomic CBR spacing — beats and near-coincident packets exercise MAC
+contention and duplicate suppression in ways a single CBR stream cannot.
+
+True multi-*node* sources are out of scope here: the SS-SPST tree is
+rooted at the multicast source, so data originating elsewhere has no
+routing realization (``ProtocolAgent.originate_data`` enforces this).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.net.node import Network
+from repro.sim.timers import PeriodicTimer
+from repro.util.units import bytes_to_bits, kbps_to_bps
+
+
+class MultiFlowSource:
+    """``flows`` phase-shifted CBR sub-flows sharing one source node."""
+
+    def __init__(
+        self,
+        network: Network,
+        rate_kbps: float = 64.0,
+        packet_bytes: int = 512,
+        start_time: float = 0.0,
+        flows: int = 2,
+    ) -> None:
+        if rate_kbps <= 0 or packet_bytes <= 0:
+            raise ValueError("rate and packet size must be positive")
+        if flows < 1:
+            raise ValueError("need at least one flow")
+        self.network = network
+        self.packet_bytes = int(packet_bytes)
+        self.flows = int(flows)
+        self.interval = (
+            bytes_to_bits(packet_bytes) / kbps_to_bps(rate_kbps) * self.flows
+        )
+        self.start_time = float(start_time)
+        self.packets_sent = 0
+        self._timers: List[PeriodicTimer] = []
+
+    def start(self) -> None:
+        rng = self.network.streams.get("traffic.multiflow")
+        for _ in range(self.flows):
+            offset = float(rng.uniform(0.0, self.interval))
+            self._timers.append(
+                PeriodicTimer(
+                    self.network.sim,
+                    self.interval,
+                    self._emit,
+                    start_offset=self.start_time + offset,
+                )
+            )
+
+    def stop(self) -> None:
+        for t in self._timers:
+            t.stop()
+
+    def _emit(self) -> None:
+        source = self.network.nodes[self.network.source]
+        if not source.alive or source.agent is None:
+            return
+        source.agent.originate_data(self.packet_bytes)
+        self.packets_sent += 1

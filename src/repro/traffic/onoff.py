@@ -1,0 +1,94 @@
+"""On-off (bursty) multicast source.
+
+The classic two-state traffic model: the source alternates between
+exponentially distributed ON bursts, during which it emits CBR packets,
+and exponentially distributed OFF silences.  The burst-time packet rate
+is scaled up by ``(on + off) / on`` so the *long-run average* rate equals
+the configured ``rate_kbps`` — an on-off scenario stresses queueing and
+tree-repair timing, not total load, and stays comparable to the CBR
+baseline packet-for-packet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.net.node import Network
+from repro.sim.timers import PeriodicTimer
+from repro.util.units import bytes_to_bits, kbps_to_bps
+
+
+class OnOffSource:
+    """CBR bursts gated by an exponential ON/OFF renewal process."""
+
+    def __init__(
+        self,
+        network: Network,
+        rate_kbps: float = 64.0,
+        packet_bytes: int = 512,
+        start_time: float = 0.0,
+        on_mean_s: float = 10.0,
+        off_mean_s: float = 10.0,
+    ) -> None:
+        if rate_kbps <= 0 or packet_bytes <= 0:
+            raise ValueError("rate and packet size must be positive")
+        if on_mean_s <= 0 or off_mean_s < 0:
+            raise ValueError("need on_mean_s > 0 and off_mean_s >= 0")
+        self.network = network
+        self.packet_bytes = int(packet_bytes)
+        duty = on_mean_s / (on_mean_s + off_mean_s)
+        # Burst-rate interval: average over ON+OFF equals the CBR interval.
+        self.interval = duty * bytes_to_bits(packet_bytes) / kbps_to_bps(rate_kbps)
+        self.start_time = float(start_time)
+        self.on_mean_s = float(on_mean_s)
+        self.off_mean_s = float(off_mean_s)
+        self.packets_sent = 0
+        self._rng: Optional[np.random.Generator] = None
+        self._timer: Optional[PeriodicTimer] = None
+        self._on_until = 0.0
+        self._off_until = 0.0
+
+    def start(self) -> None:
+        """Begin the renewal process at ``start_time`` (in an ON burst)."""
+        self._rng = self.network.streams.get("traffic.onoff")
+        self._on_until = self.start_time + float(
+            self._rng.exponential(self.on_mean_s)
+        )
+        self._off_until = self.start_time
+        self._timer = PeriodicTimer(
+            self.network.sim,
+            self.interval,
+            self._emit,
+            start_offset=self.start_time,
+        )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    # ------------------------------------------------------------------
+    def _advance_state(self, now: float) -> bool:
+        """Advance the renewal process to ``now``; True while ON."""
+        while True:
+            if now < self._on_until:
+                return True
+            if self._off_until < self._on_until:  # schedule the silence
+                self._off_until = self._on_until + float(
+                    self._rng.exponential(self.off_mean_s)
+                )
+            if now < self._off_until:
+                return False
+            self._on_until = self._off_until + float(
+                self._rng.exponential(self.on_mean_s)
+            )
+
+    def _emit(self) -> None:
+        if not self._advance_state(self.network.sim.now):
+            return
+        source = self.network.nodes[self.network.source]
+        if not source.alive or source.agent is None:
+            return
+        source.agent.originate_data(self.packet_bytes)
+        self.packets_sent += 1

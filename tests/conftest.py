@@ -66,3 +66,16 @@ def test_backend() -> str:
     keeps the historical DES path.
     """
     return os.environ.get("REPRO_TEST_BACKEND", "des")
+
+
+@pytest.fixture
+def test_mobility() -> str:
+    """Default mobility model for scenario-generic tests.
+
+    The CI scenario-models leg sets ``REPRO_TEST_MOBILITY=gauss-markov``
+    so a non-default mobility model runs through the full runner /
+    backend / campaign stack on every push; the default keeps the
+    paper's random-waypoint path.  ``trace`` is not a valid value here
+    (it needs a scenario file).
+    """
+    return os.environ.get("REPRO_TEST_MOBILITY", "waypoint")

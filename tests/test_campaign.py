@@ -64,17 +64,21 @@ class TestConfigKey:
             assert config_key(base.replace(**change)) != config_key(base)
 
     def test_later_added_defaults_are_hash_neutral(self):
-        """Adding the daemon/backend axes must not invalidate pre-existing
-        caches: at their defaults the fields are dropped from the hash
-        payload, so the key equals the original era's key (computed here
-        the way the seed code did, over every other field with the
-        original ``v1`` prefix)."""
+        """Later-added axes (daemon, backend, the scenario-model axes)
+        must not invalidate pre-existing caches: at their defaults the
+        fields are dropped from the hash payload, so the key equals the
+        seed era's key (computed here over every other field with the
+        original ``v1`` prefix).  Byte-exact pre-redesign hashes are
+        additionally pinned in tests/test_scenario_models.py's golden
+        fixture."""
+        from repro.experiments.campaign import _HASH_NEUTRAL_DEFAULTS
+
         base = fast_base()
-        assert base.daemon == "distributed"
-        assert base.backend == "des"
+        for name, default in _HASH_NEUTRAL_DEFAULTS.items():
+            assert getattr(base, name) == default, name
         legacy_payload = dataclasses.asdict(base)
-        del legacy_payload["daemon"]
-        del legacy_payload["backend"]
+        for name in _HASH_NEUTRAL_DEFAULTS:
+            del legacy_payload[name]
         legacy = json.dumps(legacy_payload, sort_keys=True, separators=(",", ":"))
         import hashlib
 

@@ -126,11 +126,12 @@ class TestSweeps:
 
 class TestFigureRegistry:
     def test_all_ten_figures_defined(self):
-        # the paper's ten figures plus the daemon-axis and rounds-backend
-        # extension figures
+        # the paper's ten figures plus the daemon-axis, rounds-backend
+        # and mobility-model extension figures
         assert set(FIGURES) == {f"fig{n:02d}" for n in range(7, 17)} | {
             "figd01",
             "figd02",
+            "figm01",
         }
 
     def test_every_figure_has_checks(self):
