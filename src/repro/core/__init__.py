@@ -66,12 +66,15 @@ from repro.core.rounds import (
     fresh_states,
     arbitrary_states,
 )
+from repro.core.array_engine import ArrayRoundEngine, ColumnarView
 from repro.core.legitimacy import is_legitimate, extract_tree
 from repro.core.faults import EdgeFault, NodeCrash, FaultRunResult, run_with_faults
 from repro.core.convergence import (
+    ENGINE_NAMES,
     check_convergence,
     check_closure,
     check_loop_freedom,
+    engine_for,
 )
 
 __all__ = [
@@ -96,6 +99,10 @@ __all__ = [
     "DES_DAEMON_NAMES",
     "daemon_by_name",
     "RoundEngine",
+    "ArrayRoundEngine",
+    "ColumnarView",
+    "ENGINE_NAMES",
+    "engine_for",
     "SyncExecutor",
     "CentralDaemonExecutor",
     "RandomizedDaemonExecutor",

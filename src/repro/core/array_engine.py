@@ -1,0 +1,635 @@
+"""Vectorized round engine: columnar state, batched rule evaluation.
+
+:class:`ArrayRoundEngine` is a drop-in :class:`~repro.core.rounds.RoundEngine`
+that rebuilds the round-model state as numpy columns — parent, cost, hop,
+member flags and flagged-children counters — and evaluates each activation
+step's whole dirty frontier as batched array operations instead of one
+Python rule evaluation per node.  It exists for scale: the object engine
+tops out around 10^3 nodes per study, the array engine takes the daemon
+studies to 10^4–10^5 (see ``benchmarks/bench_deepscale.py``).
+
+The contract is **bit-identical trajectories** with the object engine —
+states, rounds, convergence verdict, cost history and move counts — under
+every daemon and both evaluation modes.  That is only possible because the
+vectorization replicates the scalar semantics operation for operation:
+
+* the per-candidate costs are built from the *same* float64 values in the
+  *same* order (per-edge transmit energies are precomputed once with the
+  scalar radio model, then gathered — never recomputed with vector
+  transcendentals, whose last-ulp behaviour may differ);
+* the sequential incumbent/hop/id tie-break fold of ``rules._better`` is
+  reproduced as masked passes over candidate *slots* in neighbor order,
+  preserving the fold's non-commutative tolerant-comparison semantics;
+* SS-SPST-E's chain pricing becomes a prefix scan over the parent forest:
+  two per-node price columns (``Pd`` — carried flag dead, ``Pc`` —
+  carried flag alive) are propagated root-to-leaf per snapshot, exactly
+  mirroring the top-down accumulation of
+  :meth:`~repro.core.views.GlobalView.path_price`.
+
+Where exact vectorization is not sound, the engine *narrows* instead of
+approximating: evaluators whose detachment is visible to chain reads
+(flagged, attached) re-price only the candidates inside their correction
+zone — the subtree of the first ancestor that keeps its flag without them
+— through the scalar path; snapshots with parent cycles (arbitrary
+illegitimate states) or a parented source fall back to scalar evaluation
+for the affected steps.  Adaptive daemons (adversarial) schedule against
+live probes and always use the scalar path.
+
+Select it through ``engine_for(..., engine="array")``, the campaign
+``engine`` scenario knob, or ``--engine array`` on the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.daemons import Daemon
+from repro.core.metrics import (
+    CostMetric,
+    EnergyAwareMetric,
+    FarthestChildMetric,
+    HopMetric,
+    TxEnergyMetric,
+)
+from repro.core.rounds import RoundEngine
+from repro.core.rules import COST_TOL, H_MAX
+from repro.core.state import NodeState
+from repro.core.views import GlobalView
+from repro.graph.topology import Topology
+
+
+def _excl_cumsum(counts: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum (the start offset of each group)."""
+    out = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=out[1:])
+    return out
+
+
+class EdgeCsr:
+    """Compressed adjacency with per-edge scalar-exact transmit energies.
+
+    Row order matches ``topo.neighbors(v)`` exactly (the rule's candidate
+    fold is order-sensitive), and rows are id-sorted, so membership
+    lookups are binary searches.  ``sdist`` is the per-row distance-sorted
+    copy backing the vectorized in-range counting (same values as
+    :meth:`Topology.count_within` bisects over).
+    """
+
+    def __init__(self, topo: Topology, metric: CostMetric) -> None:
+        self.n = topo.n
+        provided = getattr(topo, "csr_arrays", None)
+        if provided is not None:
+            self.indptr, self.nbr, self.dist = provided()
+        else:
+            rows = [topo.neighbors(v) for v in range(topo.n)]
+            counts = np.array([len(r) for r in rows], dtype=np.int64)
+            self.indptr = np.concatenate(
+                ([0], np.cumsum(counts))
+            ).astype(np.int64)
+            self.nbr = np.array(
+                [u for r in rows for u in r], dtype=np.int64
+            )
+            self.dist = np.array(
+                [float(topo.dist[v, u]) for v, r in enumerate(rows) for u in r],
+                dtype=np.float64,
+            )
+        rowid = np.repeat(
+            np.arange(self.n, dtype=np.int64),
+            np.diff(self.indptr),
+        )
+        order = np.lexsort((self.dist, rowid))
+        self.sdist = self.dist[order]
+        self._metric = metric
+        self._etx: Optional[np.ndarray] = None
+
+    def etx(self) -> np.ndarray:
+        """Per-edge per-bit transmit energy, computed with the *scalar*
+        radio model once (vector pow may differ in the last ulp)."""
+        if self._etx is None:
+            m = self._metric
+            self._etx = np.array(
+                [m.etx(float(d)) for d in self.dist], dtype=np.float64
+            )
+        return self._etx
+
+    def edge_slot(self, v: int, u: int) -> int:
+        """CSR position of edge (v, u), or -1 when absent."""
+        i0, i1 = int(self.indptr[v]), int(self.indptr[v + 1])
+        i = i0 + int(np.searchsorted(self.nbr[i0:i1], u))
+        if i < i1 and int(self.nbr[i]) == u:
+            return i
+        return -1
+
+    def count_within(self, U: np.ndarray, radius: np.ndarray) -> np.ndarray:
+        """Vectorized ``Topology.count_within``: per-row bisect_right with
+        the same ``radius + 1e-12`` tolerance key."""
+        key = radius + 1e-12
+        lo = self.indptr[U].astype(np.int64)
+        hi = self.indptr[U + 1].astype(np.int64)
+        base = lo.copy()
+        sd = self.sdist
+        active = lo < hi
+        while active.any():
+            mid = (lo + hi) >> 1
+            vals = sd[np.where(active, mid, 0)]
+            go = active & (vals <= key)
+            lo = np.where(go, mid + 1, lo)
+            hi = np.where(active & ~go, mid, hi)
+            active = lo < hi
+        return lo - base
+
+
+class ColumnarView(GlobalView):
+    """A :class:`GlobalView` that also maintains columnar state.
+
+    ``par`` (-1 for detached), ``costa``, ``hopa`` mirror the state
+    vector; ``pdist_raw``/``pdist_edge`` and their transmit energies
+    mirror the two parent-edge distance conventions the scalar code uses
+    (raw matrix value — inf for a non-edge — in radius scans, 0.0 for a
+    non-edge in chain walks).  ``version`` bumps on every apply so the
+    engine can cache per-snapshot derived arrays.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        states: Sequence[NodeState],
+        csr: EdgeCsr,
+        metric: CostMetric,
+    ) -> None:
+        super().__init__(topo, states)
+        self.csr = csr
+        self._col_metric = metric
+        n = topo.n
+        self.par = np.full(n, -1, dtype=np.int64)
+        self.costa = np.empty(n, dtype=np.float64)
+        self.hopa = np.empty(n, dtype=np.int64)
+        self.pdist_raw = np.zeros(n, dtype=np.float64)
+        self.pdist_edge = np.zeros(n, dtype=np.float64)
+        self.pe_etx_raw = np.zeros(n, dtype=np.float64)
+        self.pe_etx_edge = np.zeros(n, dtype=np.float64)
+        for v, s in enumerate(self.states):
+            self.costa[v] = s.cost
+            self.hopa[v] = s.hop
+            if s.parent is not None:
+                self.par[v] = s.parent
+                self._set_parent_edge(v, s.parent)
+        self.version = 0
+
+    def _set_parent_edge(self, v: int, p: int) -> None:
+        i = self.csr.edge_slot(v, p)
+        if i >= 0:
+            d = float(self.csr.dist[i])
+            e = self._col_metric.etx(d)
+            self.pdist_raw[v] = d
+            self.pdist_edge[v] = d
+            self.pe_etx_raw[v] = e
+            self.pe_etx_edge[v] = e
+        else:
+            # Matches the scalar conventions: radius scans read the dist
+            # matrix (inf for a non-edge), chain walks price it as 0.0.
+            self.pdist_raw[v] = math.inf
+            self.pdist_edge[v] = 0.0
+            self.pe_etx_raw[v] = math.inf
+            self.pe_etx_edge[v] = 0.0
+
+    def apply(self, v: int, new_state: NodeState):
+        out = super().apply(v, new_state)
+        self.version += 1
+        self.costa[v] = new_state.cost
+        self.hopa[v] = new_state.hop
+        p = new_state.parent
+        self.par[v] = -1 if p is None else p
+        if p is not None:
+            self._set_parent_edge(v, p)
+        return out
+
+
+class _Snapshot:
+    """Per-snapshot derived arrays (valid for one view version)."""
+
+    __slots__ = (
+        "flags", "ft1", "ft1c", "ft2", "ft1e", "ft2e",
+        "at1", "at1c", "at2", "at1e", "at2e",
+        "ML", "Pd", "Pc", "tin", "tout",
+    )
+
+
+def _top2(
+    n: int,
+    kids: np.ndarray,
+    par: np.ndarray,
+    dist: np.ndarray,
+    etxv: np.ndarray,
+):
+    """Per-parent top-2 child distances (+ matching transmit energies).
+
+    Excluding one child from a radius scan needs at most the runner-up:
+    ``r1`` where the excluded child is not the argmax, else ``r2`` (tied
+    maxima make the two equal, so either branch is value-correct).
+    """
+    r1 = np.zeros(n, dtype=np.float64)
+    r2 = np.zeros(n, dtype=np.float64)
+    e1 = np.zeros(n, dtype=np.float64)
+    e2 = np.zeros(n, dtype=np.float64)
+    c1 = np.full(n, -1, dtype=np.int64)
+    if kids.size:
+        p = par[kids]
+        d = dist[kids]
+        order = np.lexsort((kids, -d, p))
+        ks = kids[order]
+        ps = p[order]
+        ds = d[order]
+        es = etxv[kids][order]
+        first = np.ones(ks.size, dtype=bool)
+        first[1:] = ps[1:] != ps[:-1]
+        second = np.zeros(ks.size, dtype=bool)
+        second[1:] = first[:-1] & (ps[1:] == ps[:-1])
+        r1[ps[first]] = ds[first]
+        c1[ps[first]] = ks[first]
+        e1[ps[first]] = es[first]
+        r2[ps[second]] = ds[second]
+        e2[ps[second]] = es[second]
+    return r1, c1, r2, e1, e2
+
+
+class ArrayRoundEngine(RoundEngine):
+    """Round engine with batched columnar rule evaluation.
+
+    Same constructor, entry points and trajectory semantics as
+    :class:`RoundEngine`; only the per-step evaluation differs.  Best
+    paired with snapshot daemons (``synchronous``, ``distributed`` with a
+    large ``k``): one snapshot's derived arrays serve the whole step.
+    Serial daemons re-derive per single-node step and are usually better
+    served by the object engine — see the README's engine-selection notes.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        metric: CostMetric,
+        daemon: Union[str, Daemon] = "synchronous",
+        *,
+        incremental: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        **daemon_options,
+    ) -> None:
+        super().__init__(
+            topo,
+            metric,
+            daemon,
+            incremental=incremental,
+            rng=rng,
+            **daemon_options,
+        )
+        self.csr = EdgeCsr(topo, metric)
+        t = type(metric)
+        if t is HopMetric:
+            self._kind = "hop"
+        elif t is TxEnergyMetric:
+            self._kind = "tx"
+        elif t is EnergyAwareMetric:
+            self._kind = "energy"
+        elif t is FarthestChildMetric:
+            self._kind = "farthest"
+        else:
+            self._kind = None  # unknown metric subclass: scalar evaluation
+        self._snap_view: Optional[ColumnarView] = None
+        self._snap_ver = -1
+        self._snap: Optional[_Snapshot] = None
+
+    # ------------------------------------------------------------------
+    def _make_view(self, states: Sequence[NodeState]) -> ColumnarView:
+        return ColumnarView(self.topo, states, self.csr, self.metric)
+
+    # ------------------------------------------------------------------
+    def _evaluate_step(self, view: GlobalView, todo: Sequence[int]) -> List[NodeState]:
+        kind = self._kind
+        if kind is None or not todo:
+            return super()._evaluate_step(view, todo)
+        if kind == "energy" and (
+            view._n_cycles > 0
+            or view.par[self.topo.source] >= 0
+            or self.metric.UNFLAGGED_SHADOW != 0.0
+        ):
+            # Parent cycles make forest prefix scans unsound (the scalar
+            # walk's cycle guard is per-candidate); a parented source cuts
+            # the forest differently from the children map; a nonzero
+            # shadow price re-enables unflagged marginals the vector path
+            # drops.  All are rare/transient: evaluate this step scalar.
+            return super()._evaluate_step(view, todo)
+        return self._evaluate_batch(view, todo, kind)
+
+    # ------------------------------------------------------------------
+    def _snapshot(self, view: ColumnarView, kind: str) -> _Snapshot:
+        if self._snap_view is view and self._snap_ver == view.version:
+            return self._snap
+        n = self.topo.n
+        s = _Snapshot()
+        par = view.par
+        if kind == "farthest":
+            kids = np.flatnonzero(par >= 0)
+            s.at1, s.at1c, s.at2, s.at1e, s.at2e = _top2(
+                n, kids, par, view.pdist_raw, view.pe_etx_raw
+            )
+        elif kind == "energy":
+            flags = np.fromiter(view._flags, dtype=bool, count=n)
+            s.flags = flags
+            kids = np.flatnonzero((par >= 0) & flags)
+            s.ft1, s.ft1c, s.ft2, s.ft1e, s.ft2e = _top2(
+                n, kids, par, view.pdist_raw, view.pe_etx_raw
+            )
+            self._build_prices(view, s)
+        self._snap_view = view
+        self._snap_ver = view.version
+        self._snap = s
+        return s
+
+    def _build_prices(self, view: ColumnarView, s: _Snapshot) -> None:
+        """Live-world chain prices as a root-to-leaf prefix scan.
+
+        ``ML[w]`` is the marginal of link ``w -> parent(w)`` while the
+        carried flag is alive; ``Pd``/``Pc`` propagate
+        ``price(w) = price(parent) [+ ML[w]]`` top-down — the exact
+        accumulation order of the scalar walk's memo backfill, so the
+        floats match bit for bit.
+        """
+        topo, metric, csr = self.topo, self.metric, self.csr
+        n = topo.n
+        par = view.par
+        flags = s.flags
+        src = topo.source
+        ids = np.arange(n, dtype=np.int64)
+
+        ML = np.zeros(n, dtype=np.float64)
+        att = np.flatnonzero((par >= 0) & (ids != src))
+        if att.size:
+            p = par[att]
+            d = view.pdist_edge[att]
+            de = view.pe_etx_edge[att]
+            r_wo = np.where(s.ft1c[p] == att, s.ft2[p], s.ft1[p])
+            r_e = np.where(s.ft1c[p] == att, s.ft2e[p], s.ft1e[p])
+            cnt_d = csr.count_within(p, d)
+            cnt_r = csr.count_within(p, r_wo)
+            e_rx = metric.e_rx
+            with np.errstate(invalid="ignore"):
+                ncar_d = de + cnt_d * e_rx
+                ncar_r = np.where(r_wo > 0.0, r_e + cnt_r * e_rx, 0.0)
+                ML[att] = np.where(d <= r_wo, 0.0, ncar_d - ncar_r)
+        s.ML = ML
+
+        # Parent forest with the chain-walk's source cut (the walk stops
+        # at the source before reading its parent pointer).
+        par_eff = par.copy()
+        par_eff[src] = -1
+        att_all = np.flatnonzero(par_eff >= 0)
+        cnt = np.bincount(par_eff[att_all], minlength=n).astype(np.int64)
+        fptr = np.concatenate(([0], np.cumsum(cnt))).astype(np.int64)
+        forder = att_all[np.argsort(par_eff[att_all], kind="stable")]
+
+        Pd = np.zeros(n, dtype=np.float64)
+        Pc = np.zeros(n, dtype=np.float64)
+        roots = np.flatnonzero(par_eff < 0)
+        base = np.where(roots == src, 0.0, view.costa[roots])
+        Pd[roots] = base
+        Pc[roots] = base
+        frontier = roots
+        while True:
+            lens = cnt[frontier]
+            tot = int(lens.sum())
+            if tot == 0:
+                break
+            offs = np.repeat(fptr[frontier], lens) + (
+                np.arange(tot, dtype=np.int64)
+                - np.repeat(_excl_cumsum(lens), lens)
+            )
+            kids = forder[offs]
+            pk = par[kids]
+            Pd[kids] = Pd[pk]
+            Pc[kids] = np.where(flags[pk], Pd[pk], Pc[pk]) + ML[kids]
+            frontier = kids
+        s.Pd = Pd
+        s.Pc = Pc
+
+        # Euler intervals over the same forest: subtree membership tests
+        # (loop candidates, correction zones) become interval checks.
+        tin = np.zeros(n, dtype=np.int64)
+        tout = np.zeros(n, dtype=np.int64)
+        t = 0
+        for root in roots.tolist():
+            stack = [(root, False)]
+            while stack:
+                w, done = stack.pop()
+                if done:
+                    tout[w] = t
+                    continue
+                tin[w] = t
+                t += 1
+                stack.append((w, True))
+                for c in forder[fptr[w]:fptr[w + 1]].tolist():
+                    stack.append((c, False))
+        s.tin = tin
+        s.tout = tout
+
+    # ------------------------------------------------------------------
+    def _evaluate_batch(
+        self, view: ColumnarView, todo: Sequence[int], kind: str
+    ) -> List[NodeState]:
+        topo, metric, csr = self.topo, self.metric, self.csr
+        src = topo.source
+        h_max = H_MAX(topo)
+        oc_max = metric.infinity(topo)
+
+        todo_arr = np.asarray(todo, dtype=np.int64)
+        Vrow = todo_arr[todo_arr != src]
+        n_rows = len(Vrow)
+        results: List[Optional[NodeState]] = [None] * len(todo)
+        if n_rows:
+            counts = csr.indptr[Vrow + 1] - csr.indptr[Vrow]
+            P = int(counts.sum())
+        else:
+            P = 0
+        if P == 0:
+            has = np.zeros(n_rows, dtype=bool)
+            b_id = b_hop = np.zeros(n_rows, dtype=np.int64)
+            b_oc = np.zeros(n_rows, dtype=np.float64)
+        else:
+            row_pair = np.repeat(np.arange(n_rows, dtype=np.int64), counts)
+            V_pair = Vrow[row_pair]
+            slot = np.arange(P, dtype=np.int64) - np.repeat(
+                _excl_cumsum(counts), counts
+            )
+            offs = np.repeat(csr.indptr[Vrow], counts) + slot
+            U_pair = csr.nbr[offs]
+            D_pair = csr.dist[offs]
+            hopU = view.hopa[U_pair]
+            valid = hopU < h_max
+
+            oc = self._pair_costs(
+                view, kind, Vrow, row_pair, V_pair, U_pair, D_pair, offs, valid
+            )
+
+            inc_b = U_pair == view.par[V_pair]
+            hyst = metric.switch_hysteresis
+            with np.errstate(invalid="ignore"):
+                eff = np.where(inc_b, oc, oc * (1.0 + hyst))
+            inc_pair = np.where(inc_b, 0, 1).astype(np.int64)
+
+            has, b_id, b_oc, b_hop = self._fold(
+                n_rows, row_pair, slot, valid,
+                eff, oc, inc_pair, hopU, D_pair, U_pair,
+                int(counts.max()),
+            )
+
+        row = 0
+        for i, v in enumerate(todo):
+            if v == src:
+                results[i] = NodeState(parent=None, cost=0.0, hop=0)
+                continue
+            if has[row]:
+                results[i] = NodeState(
+                    parent=int(b_id[row]),
+                    cost=float(b_oc[row]),
+                    hop=int(b_hop[row]) + 1,
+                )
+            else:
+                results[i] = NodeState(parent=None, cost=oc_max, hop=h_max)
+            row += 1
+        return results
+
+    # ------------------------------------------------------------------
+    def _pair_costs(
+        self, view, kind, Vrow, row_pair, V_pair, U_pair, D_pair, offs, valid
+    ) -> np.ndarray:
+        metric, csr = self.metric, self.csr
+        if kind == "hop":
+            return view.costa[U_pair] + 1.0
+        if kind == "tx":
+            return view.costa[U_pair] + csr.etx()[offs]
+        if kind == "farthest":
+            s = self._snapshot(view, kind)
+            etx_d = csr.etx()[offs]
+            with np.errstate(invalid="ignore"):
+                excl = s.at1c[U_pair] == V_pair
+                r_wo = np.where(excl, s.at2[U_pair], s.at1[U_pair])
+                r_we = np.where(excl, s.at2e[U_pair], s.at1e[U_pair])
+                etx_with = np.where(D_pair > r_wo, etx_d, r_we)
+                delta = (etx_with - r_we) + metric.e_rx
+                return view.costa[U_pair] + delta
+        # energy
+        s = self._snapshot(view, kind)
+        flags = s.flags
+        tin, tout = s.tin, s.tout
+        inf = metric.infinity(self.topo)
+        etx_d = csr.etx()[offs]
+        e_rx = metric.e_rx
+        with np.errstate(invalid="ignore"):
+            vfl = flags[V_pair]
+            in_desc = (tin[V_pair] <= tin[U_pair]) & (tin[U_pair] < tout[V_pair])
+            price = np.where(vfl & ~flags[U_pair], s.Pc[U_pair], s.Pd[U_pair])
+            price = np.where(in_desc, inf, price)
+            excl = s.ft1c[U_pair] == V_pair
+            r_wo = np.where(excl, s.ft2[U_pair], s.ft1[U_pair])
+            r_e = np.where(excl, s.ft2e[U_pair], s.ft1e[U_pair])
+            cnt_d = csr.count_within(U_pair, D_pair)
+            cnt_r = csr.count_within(U_pair, r_wo)
+            ncar_d = etx_d + cnt_d * e_rx
+            ncar_r = np.where(r_wo > 0.0, r_e + cnt_r * e_rx, 0.0)
+            marg = np.where(D_pair <= r_wo, 0.0, ncar_d - ncar_r)
+            delta = np.where(vfl, marg, 0.0)
+            oc = price + delta
+
+        # Correction zones: a flagged attached evaluator's detachment is
+        # visible to chain reads below the first ancestor that keeps its
+        # flag without it (``zr``); candidates inside zr's subtree are
+        # re-priced through the scalar path (exact detached-world walk).
+        # Everything outside reads only live values — the vector price is
+        # already exact there.
+        zlo = np.zeros(len(Vrow), dtype=np.int64)
+        zhi = np.zeros(len(Vrow), dtype=np.int64)
+        states = view.states
+        members = self.topo.members
+        fcnt = view._fcnt
+        any_zone = False
+        for r, v in enumerate(Vrow.tolist()):
+            if not flags[v]:
+                continue
+            pv = states[v].parent
+            if pv is None:
+                continue
+            w = pv
+            last = pv
+            while w is not None and w not in members and fcnt[w] <= 1:
+                last = w
+                w = states[w].parent
+            zr = w if w is not None else last
+            zlo[r] = tin[zr]
+            zhi[r] = tout[zr]
+            any_zone = True
+        if any_zone:
+            in_zone = (tin[U_pair] >= zlo[row_pair]) & (
+                tin[U_pair] < zhi[row_pair]
+            )
+            for i in np.flatnonzero(in_zone & valid).tolist():
+                oc[i] = metric.join_cost(view, int(V_pair[i]), int(U_pair[i]))
+        return oc
+
+    # ------------------------------------------------------------------
+    def _fold(
+        self, n_rows, row_pair, slot, valid,
+        eff, oc, inc_pair, hopU, D_pair, U_pair, maxdeg,
+    ):
+        """The sequential candidate fold of ``compute_update_local``, one
+        masked pass per candidate slot in neighbor order."""
+        b_eff = np.zeros(n_rows, dtype=np.float64)
+        b_oc = np.zeros(n_rows, dtype=np.float64)
+        b_inc = np.zeros(n_rows, dtype=np.int64)
+        b_hop = np.zeros(n_rows, dtype=np.int64)
+        b_d = np.zeros(n_rows, dtype=np.float64)
+        b_id = np.zeros(n_rows, dtype=np.int64)
+        has = np.zeros(n_rows, dtype=bool)
+        for j in range(maxdeg):
+            sel = np.flatnonzero((slot == j) & valid)
+            if not sel.size:
+                continue
+            rw = row_pair[sel]
+            ca = eff[sel]
+            cb = b_eff[rw]
+            with np.errstate(invalid="ignore"):
+                band = COST_TOL * np.maximum(np.abs(ca), np.abs(cb))
+                lt = ca < cb - band
+                gt = ca > cb + band
+            tie = ~(lt | gt)
+            ainc = inc_pair[sel]
+            binc = b_inc[rw]
+            ahop = hopU[sel]
+            bhop = b_hop[rw]
+            ad = D_pair[sel]
+            bd = b_d[rw]
+            au = U_pair[sel]
+            bu = b_id[rw]
+            lex = (ainc < binc) | (
+                (ainc == binc)
+                & (
+                    (ahop < bhop)
+                    | (
+                        (ahop == bhop)
+                        & ((ad < bd) | ((ad == bd) & (au < bu)))
+                    )
+                )
+            )
+            take = np.flatnonzero(~has[rw] | lt | (tie & lex))
+            if take.size:
+                rr = rw[take]
+                ss = sel[take]
+                b_eff[rr] = eff[ss]
+                b_oc[rr] = oc[ss]
+                b_inc[rr] = inc_pair[ss]
+                b_hop[rr] = hopU[ss]
+                b_d[rr] = D_pair[ss]
+                b_id[rr] = U_pair[ss]
+                has[rr] = True
+        return has, b_id, b_oc, b_hop

@@ -33,12 +33,19 @@ from repro.graph.topology import Topology
 ExecutorLike = Union[RoundEngine, str]
 
 
+#: registered engine implementations for :func:`engine_for`'s ``engine=``
+#: axis: the scalar reference engine and its vectorized drop-in (same
+#: trajectories bit for bit; see ``core/array_engine.py``)
+ENGINE_NAMES = ("object", "array")
+
+
 def engine_for(
     topo: Topology,
     metric: CostMetric,
     executor: ExecutorLike,
     *,
     incremental: bool = True,
+    engine: str = "object",
     rng: Optional[np.random.Generator] = None,
     **daemon_options,
 ) -> RoundEngine:
@@ -47,13 +54,26 @@ def engine_for(
     The one construction path shared by the lemma checkers and the
     ``rounds`` experiment backend: a name builds an incremental engine
     (bit-identical to full evaluation, usually much cheaper) with a
-    deterministic rng unless one is supplied.  Extra keyword options
-    reach the named daemon's constructor (e.g. ``k=`` for the
-    distributed daemon — the ``daemon_k`` scenario knob); passing them
-    with an engine instance is an error, mirroring ``RoundEngine``.
+    deterministic rng unless one is supplied.  ``engine`` selects the
+    implementation — ``"object"`` (the scalar reference) or ``"array"``
+    (vectorized columnar evaluation, same trajectories, built for
+    10^4–10^5 nodes).  Extra keyword options reach the named daemon's
+    constructor (e.g. ``k=`` for the distributed daemon — the
+    ``daemon_k`` scenario knob); passing them with an engine instance is
+    an error, mirroring ``RoundEngine``.
     """
     if isinstance(executor, str):
-        return RoundEngine(
+        if engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+            )
+        if engine == "array":
+            from repro.core.array_engine import ArrayRoundEngine
+
+            cls = ArrayRoundEngine
+        else:
+            cls = RoundEngine
+        return cls(
             topo,
             metric,
             daemon=executor,
@@ -63,6 +83,8 @@ def engine_for(
         )
     if daemon_options:
         raise ValueError("daemon options require a daemon given by name")
+    if engine != "object":
+        raise ValueError("engine selection requires a daemon given by name")
     return executor
 
 

@@ -55,6 +55,18 @@ class CostMetric(abc.ABC):
 
     #: short name used in configs, reports and protocol variants
     name: str = "?"
+    #: relative route-flap damping applied by the round-model update rule:
+    #: an alternative parent must beat the incumbent's cost by this
+    #: margin (multiplicative, hence scale-invariant) before the node
+    #: switches.  0 for metrics that are exact potential games (hop, tx
+    #: — every improving move strictly decreases a global potential, so
+    #: no damping is needed and none is wanted: any margin would cost
+    #: optimality).  The child-coupled F/E metrics are *not* potential
+    #: games — one node's move re-prices others' marginals — and their
+    #: best-response dynamics admit genuine limit cycles that no
+    #: activation order escapes; they set a deliberate margin (see
+    #: ``docs/convergence.md`` for the damping argument).
+    switch_hysteresis: float = 0.0
     #: True when a node's *path* cost depends on its own child set (only
     #: SS-SPST-E: member flags propagate up the chain), in which case the
     #: update rule must re-price candidate paths without the joining node
@@ -119,8 +131,12 @@ class CostMetric(abc.ABC):
         cached = self._infinity_cache.get(topo)
         if cached is not None:
             return cached
-        finite = topo.dist[np.isfinite(topo.dist)]
-        d_max = float(finite.max()) if finite.size else 1.0
+        d_max = getattr(topo, "max_edge_dist", None)
+        if d_max is None:
+            finite = topo.dist[np.isfinite(topo.dist)]
+            d_max = float(finite.max()) if finite.size else 1.0
+        elif d_max <= 0.0:
+            d_max = 1.0
         per_node = self.etx(d_max) + topo.n * self.e_rx
         out = (topo.n + 1) * per_node + 1.0
         self._infinity_cache[topo] = out
@@ -171,6 +187,11 @@ class FarthestChildMetric(CostMetric):
 
     name = "farthest"
     beacon_extra_bytes_fixed = 6  # radius, second radius, costliest child id
+    # F couples join costs to the child set (one node's move changes
+    # another's marginal), so improving moves are not a potential descent
+    # and fixed-order schedules can cycle; damp switches by a relative
+    # margin (the same route-flap mechanism the DES agents use).
+    switch_hysteresis = 0.05
 
     flagged_only = False
 

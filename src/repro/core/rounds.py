@@ -190,7 +190,7 @@ class RoundEngine:
         ``rounds`` in the result counts rounds in which at least one node
         changed state — the paper's "takes k rounds to stabilize".
         """
-        view = GlobalView(self.topo, states)
+        view = self._make_view(states)
         dirty = set(range(self.topo.n)) if self.incremental else None
         return self._run_from(view, dirty, max_rounds)
 
@@ -218,7 +218,7 @@ class RoundEngine:
         that contract and may skip pending moves.  In full mode this is
         simply ``run()`` on the perturbed vector.
         """
-        view = GlobalView(self.topo, settled_states)
+        view = self._make_view(settled_states)
         if not self.incremental:
             for v, new_state in perturbations:
                 if new_state != view.states[v]:
@@ -239,6 +239,24 @@ class RoundEngine:
             report = view.apply(v, new_state)
             dirty |= self._affected(view, [(v, old, new_state)], [report])
         return self._run_from(view, dirty, max_rounds)
+
+    # ------------------------------------------------------------------
+    # Engine extension points
+    # ------------------------------------------------------------------
+    def _make_view(self, states: Sequence[NodeState]) -> GlobalView:
+        """Build the working view; array engines substitute a columnar one."""
+        return GlobalView(self.topo, states)
+
+    def _evaluate_step(self, view: GlobalView, todo: Sequence[int]) -> List[NodeState]:
+        """Compute the rule for every node of one activation step.
+
+        All evaluations within a step read the same snapshot (no applies
+        happen between them), so subclasses may batch them —
+        :class:`~repro.core.array_engine.ArrayRoundEngine` evaluates the
+        whole step as vectorized array operations.  Must return the new
+        states aligned with ``todo``.
+        """
+        return [compute_update(self.topo, self.metric, view, v) for v in todo]
 
     # ------------------------------------------------------------------
     # Main loop
@@ -333,16 +351,17 @@ class RoundEngine:
             # step makes the snapshot distinction vacuous, so serial
             # daemons flow through the same code path; only the write
             # policy differs — see ``overwrite``.)
-            evaluated = []
+            todo = []
             for v in step:
                 if dirty is not None:
                     if v not in dirty:
                         continue
                     dirty.discard(v)
-                old = view.states[v]
-                ns = compute_update(self.topo, self.metric, view, v)
-                n_evals += 1
-                evaluated.append((v, old, ns))
+                todo.append(v)
+            olds = [view.states[v] for v in todo]
+            news = self._evaluate_step(view, todo)
+            n_evals += len(todo)
+            evaluated = list(zip(todo, olds, news))
             for v, old, ns in evaluated:
                 genuine = not ns.approx_equals(old, tol=COST_TOL)
                 if genuine:

@@ -26,7 +26,15 @@ from repro.core.views import NodeView
 from repro.graph.topology import Topology
 from repro.util.ids import NodeId
 
-#: relative tolerance for cost comparisons (hysteresis against fp churn)
+#: relative tolerance for cost comparisons: costs within this *relative*
+#: band are ties, resolved by the incumbent-parent / hop / id tie-breaks.
+#: Purely relative — never an absolute floor — so the tie band is
+#: invariant under uniform rescaling of the radio constants (per-bit
+#: energy units are arbitrary).  Sized to the metric's dynamic range:
+#: float64 chain sums over up to ~10^5 terms accumulate ≲1e-11 relative
+#: error, and no two physically distinct parent choices in a geometric
+#: deployment differ by less than ~1e-6 relative, so 1e-9 sits safely
+#: between fp noise and real cost structure at every unit scale.
 COST_TOL = 1e-9
 
 
@@ -49,6 +57,7 @@ def compute_update(
         is_root=(v == topo.source),
         h_max=H_MAX(topo),
         oc_max=metric.infinity(topo),
+        hysteresis=metric.switch_hysteresis,
     )
 
 
@@ -65,11 +74,15 @@ def compute_update_local(
     (a real node knows only ``|V|`` and ``OC_max`` as scenario constants,
     plus whatever its beacons delivered into the view).
 
-    ``hysteresis`` is route-flap damping for the noisy distributed setting:
-    an alternative parent must beat the incumbent's cost by this relative
-    margin to win.  The round model always uses 0 (pure rule); the DES
-    agents use a small margin because beacon-carried state is up to one
-    interval stale and node drift constantly perturbs marginal costs.
+    ``hysteresis`` is route-flap damping: an alternative parent must beat
+    the incumbent's cost by this *relative* margin to win (multiplicative,
+    hence scale-invariant).  The DES agents pass their configured
+    ``switch_threshold`` because beacon-carried state is up to one
+    interval stale; the round model passes the metric's
+    ``switch_hysteresis`` — 0 for the exact-potential metrics (hop, tx),
+    a deliberate margin for the non-potential F/E metrics whose
+    best-response dynamics otherwise admit persistent limit cycles (see
+    ``docs/convergence.md``).
     """
     if is_root:
         return NodeState(parent=None, cost=0.0, hop=0)
@@ -98,11 +111,14 @@ def _better(a: Tuple, b: Tuple) -> bool:
     """Lexicographic comparison with tolerant cost equality.
 
     Costs within ``COST_TOL`` (relative) are treated as equal so the
-    incumbent-parent / lower-hop / smaller-id tie-breaks take over; this is
-    the hysteresis that keeps equal-cost parents from flapping.
+    incumbent-parent / lower-hop / smaller-id tie-breaks take over.  The
+    band is purely relative (no absolute floor): an absolute floor makes
+    the tie band unit-dependent — ~0.1%-relative at microjoule scale but
+    1e-9-relative at joule scale — so rescaling the radio constants
+    changed which parents tied and hence the chosen tree.
     """
     ca, cb = a[0], b[0]
-    scale = max(1.0, abs(ca), abs(cb))
+    scale = max(abs(ca), abs(cb))
     if ca < cb - COST_TOL * scale:
         return True
     if ca > cb + COST_TOL * scale:

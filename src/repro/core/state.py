@@ -30,11 +30,19 @@ class NodeState:
     hop: int
 
     def approx_equals(self, other: "NodeState", tol: float = 1e-9) -> bool:
-        """Equality with a floating-point tolerance on the cost."""
+        """Equality with a *relative* floating-point tolerance on the cost.
+
+        The tolerance is purely relative — ``tol * max(|self|, |other|)``
+        — so the predicate is invariant under uniform rescaling of the
+        cost unit (per-bit energy units are arbitrary; an absolute floor
+        would make the tie band unit-dependent, which changed the chosen
+        tree when radio constants were rescaled).
+        """
         return (
             self.parent == other.parent
             and self.hop == other.hop
-            and abs(self.cost - other.cost) <= tol * max(1.0, abs(other.cost))
+            and abs(self.cost - other.cost)
+            <= tol * max(abs(self.cost), abs(other.cost))
         )
 
 

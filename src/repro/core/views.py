@@ -199,6 +199,11 @@ class GlobalView(NodeView):
         #: static tree-edge distances (0.0 for non-edges), keyed (child,
         #: parent); chain walks read one per ancestor step.
         self._edge_dist: Dict[Tuple[NodeId, NodeId], float] = {}
+        # Per-evaluation descendant set of the evaluating node, used by
+        # :meth:`path_price` to price candidates inside the evaluator's
+        # own subtree (loop candidates) without walking their chains.
+        self._desc_owner: Optional[NodeId] = None
+        self._desc_set: Set[NodeId] = set()
 
     @property
     def _flags(self) -> List[bool]:
@@ -269,6 +274,7 @@ class GlobalView(NodeView):
         self._flags_excl.clear()
         self._price_memo.clear()
         self._price_memo_owner = None
+        self._desc_owner = None  # children map changed
 
         if was_on_cycle or now_on_cycle or self._n_cycles > 0:
             # Cycles can keep their own flags alive; no local walk is
@@ -486,27 +492,71 @@ class GlobalView(NodeView):
     def path_price(self, u: NodeId, v: NodeId, v_flag: bool, metric) -> float:
         """Exact iterative chain walk in the v-detached world (ABC docstring).
 
+        The price is the *marginal* global cost of lighting up ``u``'s
+        path for ``v``: walking up from ``u``, each ancestor link is
+        charged the cost of starting to cover its chain child **only
+        while the chain is lit solely by ``v``'s carried flag**.  The
+        carried flag dies at the first ancestor that is flagged in the
+        v-detached world *independently of v* — from there up, the path
+        is already paid for in the baseline, and recharging it would
+        double-count.  (That double-charge was a real bug: it priced the
+        incumbent's already-lit chain as if it had to be built from
+        scratch, which made cheap parents look expensive, disagreed with
+        the true global-cost delta of the move, and drove persistent
+        limit cycles no activation order could escape — see
+        ``docs/convergence.md``.)  A chain whose head is disconnected
+        still contributes the head's advertised cost (``OC_max``-ish), so
+        orphaned subtrees stay unattractive while count-to-infinity
+        resolves.
+
         Guards against parent cycles (possible in arbitrary illegitimate
-        states) by falling back to the advertised cost when a node repeats,
-        and never recurses — line topologies deeper than the interpreter's
-        recursion limit are fine.  Chain-price prefixes are memoized, so
-        evaluating all of ``v``'s candidates costs one walk over the union
-        of their chains.  When ``v``'s detachment is invisible to every
-        chain read — ``v`` disconnected, or unflagged (an unflagged child
-        contributes to no flagged radius and no flag scan) — the prices
-        equal their live-world values and go into the *cross-evaluation*
-        memo (``_chain_memo``), which survives until an apply() touches
-        the priced subtrees; flagged attached evaluators fall back to the
+        states) by falling back to the advertised cost when a node
+        repeats, and never recurses — line topologies deeper than the
+        interpreter's recursion limit are fine.  Chain-price prefixes are
+        memoized per ``(node, carried-flag)``, so evaluating all of
+        ``v``'s candidates costs one walk over the union of their chains.
+        When ``v``'s detachment is invisible to every chain read — ``v``
+        disconnected, or unflagged (an unflagged child contributes to no
+        flagged radius and no flag scan) — the prices equal their
+        live-world values and go into the *cross-evaluation* memo
+        (``_chain_memo``), which survives until an apply() touches the
+        priced subtrees; flagged attached evaluators fall back to the
         per-evaluation memo (``_price_memo``), whose prefixes are valid
         only in their own detached world.
         """
         if not getattr(metric, "path_couples_to_children", False):
             return self.states[u].cost
 
+        if self._desc_owner != v:
+            # Descendants of the evaluating node, via the children map
+            # (exact inverse of the parent pointers, so this agrees with
+            # "the chain from u passes through v" even in cyclic states).
+            seen_d: Set[NodeId] = set()
+            stack = [v]
+            kids = self._children
+            while stack:
+                for c in kids[stack.pop()]:
+                    if c not in seen_d:
+                        seen_d.add(c)
+                        stack.append(c)
+            self._desc_owner, self._desc_set = v, seen_d
+        if u in self._desc_set:
+            # u hangs below v: its chain runs through v itself, so in
+            # the v-detached world it is headless and never reaches the
+            # root (attaching to u would form a parent loop).  Price it
+            # at the metric's infinity — the same ``OC_max`` sentinel a
+            # disconnected node advertises — so a node's own subtree
+            # loses to every rooted candidate.  Without this, a chain
+            # running through v priced as already-lit (near zero) and v
+            # flip-flopped into and out of the loop forever; pricing it
+            # at v's advertised cost instead still lured free-riders
+            # (advertised cost 0) back into loops they had just escaped.
+            # The verdict is evaluator-specific, which is also why it is
+            # decided *before* the walk: the shared chain memo may hold
+            # prefixes (written by other evaluators) that cross v.
+            return metric.infinity(self.topo)
+
         flags = self.flags_excluding(v)
-        flag_u = self.member(u) or v_flag or any(
-            flags[c] for c in self._children[u] if c != v
-        )
         if self._detach_neutral(v, flags):
             # Detaching v changes nothing any chain walk reads: prices are
             # live-world values, shared across evaluating nodes.
@@ -518,33 +568,36 @@ class GlobalView(NodeView):
             # different detached world.
             self._price_memo = memo = {}
             self._price_memo_owner = v
-        states, children, topo = self.states, self._children, self.topo
-        member_of = topo.members
+        states, topo = self.states, self.topo
         edge_dist = self._edge_dist
 
-        w, flag_w = u, bool(flag_u)
+        # v's flag is "carried" up the chain only while the chain nodes
+        # are unlit without it; it dies at the first independently
+        # flagged ancestor.
+        w, carried = u, bool(v_flag) and not flags[u]
         seen = {u}
         pending: List[Tuple[Tuple[NodeId, bool], float]] = []
         cacheable = True
         while True:
             by_flag = memo.get(w)
-            base = None if by_flag is None else by_flag.get(flag_w)
+            base = None if by_flag is None else by_flag.get(carried)
             if base is not None:
                 break
             if w == topo.source:
                 base = 0.0
-                memo.setdefault(w, {})[flag_w] = base
+                memo.setdefault(w, {})[carried] = base
                 break
             p = states[w].parent
             if p is None:
                 base = states[w].cost  # disconnected: advertised OC_max
-                memo.setdefault(w, {})[flag_w] = base
+                memo.setdefault(w, {})[carried] = base
                 break
             self.chain_steps += 1
-            # Marginal cost p pays to cover w (w's attachment is being
-            # priced, so w itself is excluded from p's baseline radius;
-            # v is detached everywhere in this world, so exclude it too).
-            if flag_w:
+            if carried:
+                # w is lit only by v's attachment: p must start covering
+                # it.  Marginal against p's baseline flagged radius in
+                # the v-detached world (w is unlit there, so excluding it
+                # is a no-op, kept for robustness).
                 d = edge_dist.get((w, p))
                 if d is None:
                     d = float(topo.dist[w, p]) if topo.has_edge(w, p) else 0.0
@@ -566,13 +619,8 @@ class GlobalView(NodeView):
                 cacheable = False
                 break
             seen.add(p)
-            flag_p = bool(
-                p in member_of
-                or flag_w
-                or any(flags[c] for c in children[p] if c not in (w, v))
-            )
-            pending.append(((w, flag_w), delta))
-            w, flag_w = p, flag_p
+            pending.append(((w, carried), delta))
+            w, carried = p, carried and not flags[p]
         # Backfill the walked prefixes: price(w) = delta(w->p) + price(p).
         # A walk truncated by the cycle guard yields start-dependent
         # values: return them, but keep them out of the shared memo so

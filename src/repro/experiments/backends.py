@@ -192,6 +192,11 @@ class DesBackend(ExperimentBackend):
         # The round-model-only adversarial daemon has no beacon-schedule
         # realization; same message the config itself used to raise.
         require_des_daemon(config.daemon)
+        if config.engine != "object":
+            raise ValueError(
+                f"engine {config.engine!r} is a rounds-backend knob; the "
+                f"DES backend has no round engine (use backend='rounds')"
+            )
         validate_models(config, self.name)
 
     def run(self, config: ScenarioConfig):
@@ -405,8 +410,8 @@ class RoundsBackend(ExperimentBackend):
             {"k": config.daemon_k} if config.daemon == "distributed" else {}
         )
         engine = engine_for(
-            topo, metric, config.daemon, rng=streams.get("daemon"),
-            **daemon_kwargs,
+            topo, metric, config.daemon, engine=config.engine,
+            rng=streams.get("daemon"), **daemon_kwargs,
         )
         settled = engine.run(fresh_states(topo, metric))
 
@@ -424,8 +429,8 @@ class RoundsBackend(ExperimentBackend):
                 hop=st.hop,
             )
             rec_engine = engine_for(
-                topo, metric, config.daemon, rng=streams.get("recovery"),
-                **daemon_kwargs,
+                topo, metric, config.daemon, engine=config.engine,
+                rng=streams.get("recovery"), **daemon_kwargs,
             )
             rec = rec_engine.run_perturbed(list(settled.states), [(v, corrupted)])
             recovery = (

@@ -106,6 +106,10 @@ _HASH_NEUTRAL_DEFAULTS: Dict[str, object] = {
     "model_params": (),
     "daemon_k": 4,
     "density_ref_n": 0,
+    # rounds-engine implementation (PR 6): bit-identical trajectories by
+    # contract, so the axis never changes results — only "array" forks a
+    # cell (useful to benchmark cache-cold, not to distinguish outputs)
+    "engine": "object",
 }
 
 
@@ -620,6 +624,15 @@ def build_parser() -> argparse.ArgumentParser:
         "per run).  Sweepable as a grid axis too: --grid backend=des,rounds",
     )
     what.add_argument(
+        "--engine",
+        default=None,
+        help="round-engine implementation for the base config (rounds "
+        "backend only): 'object' (scalar reference, the default) or "
+        "'array' (vectorized columnar evaluation — bit-identical "
+        "trajectories, built for 10^4-10^5 nodes).  Sweepable as a grid "
+        "axis too: --grid engine=object,array",
+    )
+    what.add_argument(
         "--protocols",
         default="ss-spst,ss-spst-e",
         help="comma-separated protocol list (ignored with --figure)",
@@ -747,29 +760,33 @@ def _reject_grid_collisions(
         )
 
 
-def _merge_backend_flag(
-    overrides: Dict[str, object], backend: Optional[str], axes: Iterable[str]
+def _merge_field_flag(
+    overrides: Dict[str, object],
+    field: str,
+    value: Optional[str],
+    axes: Iterable[str],
 ) -> None:
-    """Fold ``--backend`` into the override set, rejecting contradictions.
+    """Fold a dedicated field flag (``--backend``, ``--engine``) into the
+    override set, rejecting contradictions.
 
-    The flag is sugar for ``--set backend=...`` but gets its own error
-    messages: silently letting a ``--set backend`` or a ``backend=`` grid
-    axis win over an explicit flag would run a different executor than
-    the one the caller named."""
-    if not backend:
+    Each flag is sugar for ``--set <field>=...`` but gets its own error
+    messages: silently letting a ``--set`` or a grid axis win over an
+    explicit flag would run a different executor than the one the caller
+    named."""
+    if not value:
         return
-    if "backend" in set(axes):
+    if field in set(axes):
         raise SystemExit(
-            f"--backend {backend}: 'backend' is already a grid axis; the "
-            f"axis values would overwrite the flag.  Drop --backend and "
-            f"let --grid backend=... drive the sweep."
+            f"--{field} {value}: {field!r} is already a grid axis; the "
+            f"axis values would overwrite the flag.  Drop --{field} and "
+            f"let --grid {field}=... drive the sweep."
         )
-    if overrides.get("backend", backend) != backend:
+    if overrides.get(field, value) != value:
         raise SystemExit(
-            f"--backend {backend} contradicts --set "
-            f"backend={overrides['backend']}; drop one of them."
+            f"--{field} {value} contradicts --set "
+            f"{field}={overrides[field]}; drop one of them."
         )
-    overrides["backend"] = backend
+    overrides[field] = value
 
 
 def _apply_model_params(
@@ -790,6 +807,7 @@ def spec_from_args(args) -> CampaignSpec:
     overrides = _parse_overrides(args.overrides)
     model_params = _parse_model_params(getattr(args, "model_params", []))
     backend_flag = getattr(args, "backend", None)
+    engine_flag = getattr(args, "engine", None)
     if args.figure:
         from repro.experiments.figures import FIGURES
 
@@ -800,9 +818,9 @@ def spec_from_args(args) -> CampaignSpec:
         spec = FIGURES[args.figure].campaign_spec(
             quick=not args.paper, seeds=seeds
         )
-        _merge_backend_flag(
-            overrides, backend_flag, (name for name, _ in spec.grid)
-        )
+        axis_names = tuple(name for name, _ in spec.grid)
+        _merge_field_flag(overrides, "backend", backend_flag, axis_names)
+        _merge_field_flag(overrides, "engine", engine_flag, axis_names)
         if overrides:
             _reject_grid_collisions(
                 overrides,
@@ -815,7 +833,8 @@ def spec_from_args(args) -> CampaignSpec:
             spec = dataclasses.replace(spec, base=base)
         return spec
     grid = _parse_grid(args.grid)
-    _merge_backend_flag(overrides, backend_flag, grid)
+    _merge_field_flag(overrides, "backend", backend_flag, grid)
+    _merge_field_flag(overrides, "engine", engine_flag, grid)
     _reject_grid_collisions(overrides, grid, "this campaign (--grid)")
     base = ScenarioConfig.paper_scale() if args.paper else ScenarioConfig.quick()
     if overrides:

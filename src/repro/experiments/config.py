@@ -158,6 +158,14 @@ class ScenarioConfig:
     # stabilization engine).  Hash-neutral at "des" so pre-backend cache
     # entries keep hitting.
     backend: str = "des"
+    #: rounds-backend engine implementation: "object" (the scalar
+    #: reference) or "array" (vectorized columnar evaluation — same
+    #: trajectories bit for bit, built for 10^4-10^5 nodes).  Hash-neutral
+    #: at "object" *because* of that bit-identity: the engine changes how
+    #: fast results arrive, never what they are, so cache entries stay
+    #: valid across the axis.  The DES backend has no round engine and
+    #: rejects non-default values.
+    engine: str = "object"
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -171,6 +179,12 @@ class ScenarioConfig:
             raise ValueError("sim_time must exceed traffic_start")
         if self.daemon_k < 1:
             raise ValueError("daemon_k must be >= 1")
+        from repro.core.convergence import ENGINE_NAMES
+
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINE_NAMES}"
+            )
         if self.density_ref_n < 0:
             raise ValueError("density_ref_n must be >= 0 (0 disables scaling)")
         # Backend-specific constraints (daemon legality, protocol and

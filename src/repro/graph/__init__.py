@@ -13,6 +13,7 @@ how close SS-SPST-E gets to the optimum.
 """
 
 from repro.graph.topology import Topology
+from repro.graph.sparse import SparseTopology
 from repro.graph.tree import TreeAssignment
 from repro.graph.bip import bip_tree, mip_tree
 from repro.graph.emin import (
@@ -22,6 +23,7 @@ from repro.graph.emin import (
 
 __all__ = [
     "Topology",
+    "SparseTopology",
     "TreeAssignment",
     "bip_tree",
     "mip_tree",

@@ -69,6 +69,19 @@ def test_backend() -> str:
 
 
 @pytest.fixture
+def test_engine() -> str:
+    """Default round-engine implementation for engine-generic tests.
+
+    CI adds a ``REPRO_TEST_ENGINE=array`` tier-1 matrix entry so the
+    vectorized columnar engine runs the same default-path tests as the
+    scalar reference (their trajectories are bit-identical by contract,
+    so the tests themselves need no engine awareness); the default keeps
+    the object engine.
+    """
+    return os.environ.get("REPRO_TEST_ENGINE", "object")
+
+
+@pytest.fixture
 def test_mobility() -> str:
     """Default mobility model for scenario-generic tests.
 

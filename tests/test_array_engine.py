@@ -1,0 +1,305 @@
+"""Array engine parity and scale-invariance properties.
+
+The vectorized :class:`~repro.core.array_engine.ArrayRoundEngine`'s whole
+contract is **bit-identity** with the scalar :class:`RoundEngine` — not
+"close enough": states, rounds, convergence verdict, cost history and
+move counts must match exactly, under every daemon, both evaluation
+modes, and from arbitrary illegitimate states (the object engine is the
+oracle; see ``core/array_engine.py`` for why exactness is achievable).
+Alongside: the scale-invariance property both engines must satisfy
+(uniform energy rescaling changes neither the chosen tree nor the
+convergence verdict — the regression behind ``COST_TOL``'s relative
+semantics, see ``docs/convergence.md``), the sparse topology's
+equivalence to the dense one, and the ``engine=`` plumbing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DAEMON_NAMES,
+    ArrayRoundEngine,
+    NodeState,
+    RoundEngine,
+    arbitrary_states,
+    engine_for,
+    fresh_states,
+    is_legitimate,
+    metric_by_name,
+)
+from repro.core.examples import EXAMPLE_RADIO
+from repro.core.metrics import METRIC_NAMES
+from repro.energy.radio import FirstOrderRadioModel
+from repro.graph import SparseTopology, Topology
+
+SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+MAX_ROUNDS = 150
+
+
+def random_connected_topology(seed, n_min=5, n_max=12):
+    rng = np.random.default_rng(seed)
+    for _ in range(50):
+        n = int(rng.integers(n_min, n_max + 1))
+        pos = rng.random((n, 2)) * 400.0
+        members = [int(x) for x in rng.choice(n, size=max(2, n // 3), replace=False)]
+        topo = Topology.from_positions(pos, 250.0, source=0, members=members)
+        if topo.is_connected():
+            return topo
+    pytest.skip("could not sample a connected topology")
+
+
+def pair(topo, metric, daemon, incremental, seed=9):
+    """Matched (object, array) engines with identical daemon rng streams."""
+    obj = RoundEngine(
+        topo, metric, daemon=daemon, incremental=incremental,
+        rng=np.random.default_rng(seed),
+    )
+    arr = ArrayRoundEngine(
+        topo, metric, daemon=daemon, incremental=incremental,
+        rng=np.random.default_rng(seed),
+    )
+    return obj, arr
+
+
+def assert_same_trajectory(a, b):
+    assert a.states == b.states  # exact, not approx: bit-identical
+    assert a.rounds == b.rounds
+    assert a.converged == b.converged
+    assert a.cost_history == b.cost_history
+    assert a.moves == b.moves
+
+
+# ----------------------------------------------------------------------
+# The tentpole contract: the object engine is the bit-identity oracle
+# ----------------------------------------------------------------------
+@settings(**SETTINGS)
+@given(seed=st.integers(0, 100_000), metric_name=st.sampled_from(METRIC_NAMES))
+@pytest.mark.parametrize("incremental", [False, True])
+@pytest.mark.parametrize("daemon", DAEMON_NAMES)
+def test_array_engine_bit_identical_any_daemon(daemon, incremental, metric_name, seed):
+    """Every daemon x every metric x both modes, from arbitrary
+    illegitimate states (parent cycles, garbage costs): the array engine
+    replays the object engine exactly."""
+    topo = random_connected_topology(seed)
+    m = metric_by_name(metric_name, EXAMPLE_RADIO)
+    init = arbitrary_states(topo, m, np.random.default_rng(seed + 1))
+    obj, arr = pair(topo, m, daemon, incremental)
+    assert_same_trajectory(
+        obj.run(list(init), max_rounds=MAX_ROUNDS),
+        arr.run(list(init), max_rounds=MAX_ROUNDS),
+    )
+
+
+@settings(**SETTINGS)
+@given(seed=st.integers(0, 100_000), metric_name=st.sampled_from(METRIC_NAMES))
+@pytest.mark.parametrize("daemon", DAEMON_NAMES)
+def test_array_engine_bit_identical_warm_start(daemon, metric_name, seed):
+    """run_perturbed parity: settle with the object engine, corrupt a few
+    nodes, and let both engines absorb the same faults."""
+    topo = random_connected_topology(seed)
+    m = metric_by_name(metric_name, EXAMPLE_RADIO)
+    settled = RoundEngine(
+        topo, m, daemon=daemon, incremental=True, rng=np.random.default_rng(9)
+    ).run(fresh_states(topo, m), max_rounds=MAX_ROUNDS)
+    if not settled.converged:  # adversarial may legitimately stall on F
+        return
+    rng = np.random.default_rng(seed + 7)
+    faults = []
+    for v in rng.choice(topo.n, size=max(1, topo.n // 4), replace=False):
+        v = int(v)
+        if v == topo.source:
+            continue
+        nbrs = topo.neighbors(v)
+        u = int(rng.choice(nbrs)) if nbrs else None
+        ns = NodeState(
+            parent=u,
+            cost=float(rng.random() * 1e-5),
+            hop=int(rng.integers(0, topo.n)),
+        )
+        if settled.states[v] != ns:
+            faults.append((v, ns))
+    if not faults:
+        return
+    obj, arr = pair(topo, m, daemon, True)
+    assert_same_trajectory(
+        obj.run_perturbed(list(settled.states), faults, max_rounds=MAX_ROUNDS),
+        arr.run_perturbed(list(settled.states), faults, max_rounds=MAX_ROUNDS),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scale invariance: per-bit energy units are arbitrary, so uniformly
+# rescaling every radio constant must change neither the tree nor the
+# convergence verdict — on either engine (the satellite-1 regression,
+# generalized across metrics x daemons x engines)
+# ----------------------------------------------------------------------
+@settings(**SETTINGS)
+@given(
+    seed=st.integers(0, 100_000),
+    metric_name=st.sampled_from(METRIC_NAMES),
+    scale=st.sampled_from([1e-3, 0.5, 2.0, 1e3]),
+)
+@pytest.mark.parametrize("engine", ["object", "array"])
+@pytest.mark.parametrize("daemon", ["synchronous", "central", "randomized"])
+def test_rescaling_invariant_tree_and_verdict(daemon, engine, metric_name, scale, seed):
+    topo = random_connected_topology(seed)
+    r1 = EXAMPLE_RADIO
+    r2 = FirstOrderRadioModel(
+        e_elec=r1.e_elec * scale,
+        e_rx=r1.e_rx * scale,
+        eps_amp=r1.eps_amp * scale,
+        alpha=r1.alpha,
+        max_range=r1.max_range,
+        d_floor=r1.d_floor,
+    )
+    results = []
+    for radio in (r1, r2):
+        m = metric_by_name(metric_name, radio)
+        eng = engine_for(
+            topo, m, daemon, incremental=True, engine=engine,
+            rng=np.random.default_rng(seed),
+        )
+        results.append(eng.run(fresh_states(topo, m), max_rounds=300))
+    res1, res2 = results
+    assert res1.converged == res2.converged
+    assert res1.rounds == res2.rounds
+    assert [s.parent for s in res1.states] == [s.parent for s in res2.states]
+
+
+# ----------------------------------------------------------------------
+# Sparse topology: same graph, same answers
+# ----------------------------------------------------------------------
+def _sparse_from_dense(topo):
+    rows = [topo.neighbors(v) for v in range(topo.n)]
+    indptr = np.concatenate(([0], np.cumsum([len(r) for r in rows])))
+    nbr = np.array([u for r in rows for u in r], dtype=np.int64)
+    nd = np.array(
+        [float(topo.dist[v, u]) for v, r in enumerate(rows) for u in r]
+    )
+    return SparseTopology(topo.n, indptr, nbr, nd, topo.source, topo.members)
+
+
+class TestSparseTopology:
+    def test_queries_match_dense(self):
+        topo = random_connected_topology(5, n_min=10, n_max=16)
+        sp = _sparse_from_dense(topo)
+        assert sp.members == topo.members
+        for v in range(topo.n):
+            assert sp.neighbors(v) == topo.neighbors(v)
+            assert sp.degree(v) == topo.degree(v)
+            assert sp.neighbor_distances(v) == topo.neighbor_distances(v)
+            for u in range(topo.n):
+                assert sp.has_edge(v, u) == topo.has_edge(v, u)
+                assert sp.dist[v, u] == topo.dist[v, u]
+            for radius in (0.0, 50.0, 150.0, 400.0):
+                assert sp.count_within(v, radius) == topo.count_within(v, radius)
+                assert sp.neighbors_within(v, radius) == topo.neighbors_within(
+                    v, radius
+                )
+        assert sp.is_connected() == topo.is_connected()
+        assert list(sp.bfs_hops()) == list(topo.bfs_hops())
+
+    def test_infinity_matches_dense(self):
+        topo = random_connected_topology(6, n_min=8, n_max=12)
+        sp = _sparse_from_dense(topo)
+        for name in METRIC_NAMES:
+            m = metric_by_name(name, EXAMPLE_RADIO)
+            assert m.infinity(sp) == m.infinity(topo)
+
+    def test_trajectories_match_dense(self):
+        """The same graph behind either topology class stabilizes the
+        same way, on both engines."""
+        topo = random_connected_topology(7, n_min=8, n_max=12)
+        sp = _sparse_from_dense(topo)
+        m = metric_by_name("energy", EXAMPLE_RADIO)
+        init = arbitrary_states(topo, m, np.random.default_rng(3))
+        ref = RoundEngine(
+            topo, m, daemon="central", incremental=True
+        ).run(list(init), max_rounds=MAX_ROUNDS)
+        for engine in ("object", "array"):
+            got = engine_for(
+                sp, m, "central", incremental=True, engine=engine
+            ).run(list(init), max_rounds=MAX_ROUNDS)
+            assert_same_trajectory(ref, got)
+
+    def test_random_geometric_is_valid(self):
+        sp = SparseTopology.random_geometric(
+            300, side=600.0, radius=80.0, seed=4
+        )
+        assert sp.n == 300
+        assert sp.source in sp.members
+        # symmetry: every directed edge has its mirror with equal length
+        for v in range(sp.n):
+            for u, d in sp.neighbor_distances(v):
+                assert sp.dist[u, v] == d
+
+
+# ----------------------------------------------------------------------
+# engine_for plumbing
+# ----------------------------------------------------------------------
+class TestEngineSelection:
+    def test_names(self):
+        topo = random_connected_topology(1)
+        m = metric_by_name("hop", EXAMPLE_RADIO)
+        assert isinstance(
+            engine_for(topo, m, "central", engine="array"), ArrayRoundEngine
+        )
+        obj = engine_for(topo, m, "central", engine="object")
+        assert type(obj) is RoundEngine
+
+    def test_unknown_engine_rejected(self):
+        topo = random_connected_topology(1)
+        m = metric_by_name("hop", EXAMPLE_RADIO)
+        with pytest.raises(ValueError, match="unknown engine"):
+            engine_for(topo, m, "central", engine="bogus")
+
+    def test_engine_selection_requires_daemon_name(self):
+        topo = random_connected_topology(1)
+        m = metric_by_name("hop", EXAMPLE_RADIO)
+        inst = RoundEngine(topo, m, daemon="central")
+        with pytest.raises(ValueError, match="daemon given by name"):
+            engine_for(topo, m, inst, engine="array")
+
+    def test_config_knob_reaches_rounds_backend(self):
+        from repro.experiments.backends import backend_by_name
+        from repro.experiments.config import ScenarioConfig
+
+        b = backend_by_name("rounds")
+        base = ScenarioConfig.quick(
+            backend="rounds", protocol="ss-spst-e", engine="object"
+        )
+        ra = b.record_from(b.run(base))
+        rb = b.record_from(b.run(base.replace(engine="array")))
+        sa, sb = ra["summary"], rb["summary"]
+        # Bit-identity covers results; chain_steps counts *scalar* chain
+        # work, which the vector path mostly avoids — excluded from the
+        # contract (same carve-out as full vs incremental).
+        for key in ("rounds", "moves", "evaluations", "converged", "total_cost"):
+            if key in sa:
+                assert sa[key] == sb[key], key
+
+    def test_des_backend_rejects_engine_knob(self):
+        from repro.experiments.config import ScenarioConfig
+
+        with pytest.raises(ValueError, match="rounds-backend knob"):
+            ScenarioConfig.quick(engine="array")
+
+
+# ----------------------------------------------------------------------
+# Moderate-scale sanity: the point of the array engine
+# ----------------------------------------------------------------------
+def test_array_engine_stabilizes_thousand_node_sparse():
+    sp = SparseTopology.random_geometric(1000, side=1000.0, radius=80.0, seed=2)
+    m = metric_by_name("tx", EXAMPLE_RADIO)
+    res = engine_for(
+        sp, m, "synchronous", incremental=True, engine="array"
+    ).run(fresh_states(sp, m))
+    assert res.converged
+    assert is_legitimate(sp, m, res.states)

@@ -12,6 +12,8 @@ the evaluations-accounting fix (the converged-check pass is not work).
 generic single-daemon tests; CI matrixes it over {central, randomized}.
 """
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -31,6 +33,7 @@ from repro.core import (
     check_closure,
     check_convergence,
     daemon_by_name,
+    engine_for,
     fresh_states,
     is_legitimate,
     metric_by_name,
@@ -62,11 +65,15 @@ def random_connected_topology(seed, n_min=5, n_max=12):
 
 
 def engine(topo, metric, daemon, incremental, seed=0):
-    return RoundEngine(
+    # Engine-generic on the REPRO_TEST_ENGINE axis: the array engine is
+    # bit-identical to the object engine by contract, so every assertion
+    # in this module must hold unchanged under either implementation.
+    return engine_for(
         topo,
         metric,
-        daemon=daemon,
+        daemon,
         incremental=incremental,
+        engine=os.environ.get("REPRO_TEST_ENGINE", "object"),
         rng=np.random.default_rng(seed),
     )
 
@@ -158,9 +165,13 @@ def test_every_daemon_converges_for_potential_metrics(daemon, metric_name):
 # instability discussion is about)
 # ----------------------------------------------------------------------
 def test_adversarial_stalls_where_randomized_converges():
+    # The F metric keeps the paper's advertised-cost pricing and hence its
+    # documented best-response cycles; E's exact marginal chain pricing
+    # (see docs/convergence.md) removed every adversarial stall we could
+    # find for it, so the schedule-dependence regression is pinned on F.
     seed = 3  # found by search; stable because everything is seeded
     topo = random_connected_topology(seed)
-    m = metric_by_name("energy", EXAMPLE_RADIO)
+    m = metric_by_name("farthest", EXAMPLE_RADIO)
     init = arbitrary_states(topo, m, np.random.default_rng(seed + 1))
     adv = RoundEngine(topo, m, daemon="adversarial-max-cost").run(
         list(init), max_rounds=150
