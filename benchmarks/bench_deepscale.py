@@ -20,6 +20,10 @@ studies to 10^4-10^5.  This bench pins that claim:
 * **n = 10^5 cell** (``REPRO_BENCH_FULL=1``) — tx under the synchronous
   daemon: feasibility at a scale where the dense topology cannot even
   be built (an (n, n) float64 matrix would be 80 GB).
+* **store-throughput cell** — deep-scale campaigns persist one record
+  per run, so the result store must keep up: bulk-ingest rate and
+  warm-lookup latency for the JSON record dir vs the SQLite columnar
+  store over 10^4 realistic records (scaled down with ``..._N``).
 
 Knobs: ``REPRO_BENCH_DEEPSCALE_N`` rescales the headline cells (CI quick
 mode uses 2000), ``REPRO_BENCH_FULL=1`` adds the 10^5 cell, and
@@ -120,9 +124,69 @@ def _measure():
         "speedup": t_obj / t_arr if t_arr > 0 else float("inf"),
     }
 
+    stats["store"] = _store_cell()
+
     if FULL:
         stats["cells"].append(_cell(_topo(FULL_N), "tx", "synchronous"))
     return stats
+
+
+def _store_cell():
+    """Result-store throughput: ingest + warm lookup, JSON dir vs SQLite.
+
+    The records are realistic (one real rounds run templated across
+    seeds, keyed by the genuine config hash), and both stores ingest
+    through their bulk path (``put_many``), which is what ``migrate``
+    and a deep-scale campaign's write stream exercise.
+    """
+    import tempfile
+
+    from repro.experiments.campaign import _execute
+    from repro.experiments.config import ScenarioConfig
+    from repro.experiments.store import JsonDirStore, SqliteStore, config_key
+
+    base = ScenarioConfig.quick(
+        backend="rounds", n_nodes=16, group_size=4, protocol="ss-spst"
+    )
+    template = _execute(base)
+    records = min(10_000, max(1000, N))
+    items = []
+    for i in range(records):
+        cfg = base.replace(seed=i + 1)
+        record = dict(template, config=dict(template["config"], seed=i + 1))
+        items.append((config_key(cfg), record))
+    sample = items[:: max(1, records // 500)]
+
+    out = {"records": records}
+    with tempfile.TemporaryDirectory() as tmp:
+        backends = (
+            ("json", lambda: JsonDirStore(os.path.join(tmp, "records"))),
+            (
+                "sqlite",
+                lambda: SqliteStore(
+                    os.path.join(tmp, "records.sqlite"), batch_size=256
+                ),
+            ),
+        )
+        for label, open_backend in backends:
+            store = open_backend()
+            t0 = time.perf_counter()
+            store.put_many(items)
+            store.flush()
+            ingest_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for key, _ in sample:
+                assert store.get(key) is not None
+            lookup_s = (time.perf_counter() - t0) / len(sample)
+            store.close()
+            out[label] = {
+                "ingest_s": ingest_s,
+                "ingest_per_s": (
+                    records / ingest_s if ingest_s > 0 else float("inf")
+                ),
+                "lookup_us": lookup_s * 1e6,
+            }
+    return out
 
 
 def _emit_json(stats) -> None:
@@ -149,6 +213,14 @@ def test_deepscale(benchmark):
         f"object vs array (n=1000 tx sync): {sp['t_object']:.2f}s vs "
         f"{sp['t_array']:.2f}s -> {sp['speedup']:.1f}x"
     )
+    st = stats["store"]
+    for label in ("json", "sqlite"):
+        cell = st[label]
+        print(
+            f"store[{label}]: {st['records']} records, "
+            f"ingest {cell['ingest_per_s']:.0f}/s, "
+            f"warm lookup {cell['lookup_us']:.0f}us"
+        )
     _emit_json(stats)
     # The headline acceptance: deep-scale stabilization in seconds.
     for c in stats["cells"]:

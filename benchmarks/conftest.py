@@ -7,7 +7,9 @@ ASCII rendering, and asserts the figure's shape checks.
 
 Set ``REPRO_BENCH_SEEDS`` / ``REPRO_BENCH_FULL=1`` to rescale,
 ``REPRO_BENCH_WORKERS=N`` to run each figure's grid on a process pool,
-and ``REPRO_BENCH_CACHE_DIR=path`` to persist runs across bench sessions.
+and ``REPRO_BENCH_STORE=spec`` (a JSON record dir, a ``.sqlite`` path,
+or an explicit ``json:``/``sqlite:`` spec; ``REPRO_BENCH_CACHE_DIR`` is
+the legacy JSON-dir form) to persist runs across bench sessions.
 """
 
 from __future__ import annotations
@@ -41,6 +43,10 @@ def _cache_dir():
     return os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
 
+def _store():
+    return os.environ.get("REPRO_BENCH_STORE") or None
+
+
 @pytest.fixture(scope="session")
 def run_cache() -> Dict:
     return _RUN_CACHE
@@ -59,6 +65,7 @@ def figure_bench(benchmark, fig_id: str, run_cache: Dict) -> None:
             cache=run_cache,
             workers=_workers(),
             cache_dir=_cache_dir(),
+            store=_store(),
         )
 
     result = benchmark.pedantic(_run, rounds=1, iterations=1)

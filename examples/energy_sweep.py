@@ -9,13 +9,15 @@ Usage::
 
     python examples/energy_sweep.py fig09            # quick scale
     python examples/energy_sweep.py fig16 --full     # paper scale (slow!)
-    python examples/energy_sweep.py fig09 --workers 4 --cache-dir .campaign-cache
+    python examples/energy_sweep.py fig09 --workers 4 --store figures.sqlite
     python examples/energy_sweep.py --list
 
 ``--workers N`` fans the figure's grid out over a process pool and
-``--cache-dir`` persists every run, so re-rendering a figure (or another
-figure over the same scenarios) costs nothing — both are provided by the
-campaign engine (``repro.experiments.campaign``).
+``--store`` persists every run (a directory for the JSON record layout,
+a ``.sqlite`` path for the columnar store; ``--cache-dir DIR`` remains
+as JSON-dir shorthand), so re-rendering a figure (or another figure over
+the same scenarios) costs nothing — both are provided by the campaign
+engine (``repro.experiments.campaign``; see docs/campaigns.md).
 """
 
 import sys
@@ -40,7 +42,7 @@ def main() -> None:
             print(f"{fid}: {fig.title}")
         if not args:
             print("\nusage: energy_sweep.py <fig_id> [--full] "
-                  "[--workers N] [--cache-dir DIR]")
+                  "[--workers N] [--store SPEC | --cache-dir DIR]")
         return
 
     fig_id = args[0]
@@ -49,9 +51,14 @@ def main() -> None:
     quick = "--full" not in args
     workers = int(_flag_value(args, "--workers", "1"))
     cache_dir = _flag_value(args, "--cache-dir", None)
+    store = _flag_value(args, "--store", None)
+    if store and cache_dir:
+        raise SystemExit("--store and --cache-dir both given; drop one")
     fig = FIGURES[fig_id]
     print(f"{fig.title} — {'quick' if quick else 'paper'} scale")
-    result = fig.run(quick=quick, workers=workers, cache_dir=cache_dir)
+    result = fig.run(
+        quick=quick, workers=workers, cache_dir=cache_dir, store=store
+    )
     print()
     print(result.format_table(fig.fig_id))
     print(ascii_plot(result.x_values, result.series, y_label=fig.y_name, x_label=fig.x_name))

@@ -7,7 +7,6 @@ shape claims can be checked against overlap rather than point estimates.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -34,23 +33,28 @@ class CiSummary:
         return self.low <= other.high and other.low <= self.high
 
 
-def mean_ci(values: Sequence[float], confidence: float = 0.95) -> CiSummary:
-    """Student-t confidence interval over a (small) sample."""
-    vals = [v for v in values if v == v and abs(v) != float("inf")]
-    n = len(vals)
-    if n == 0:
-        return CiSummary(float("nan"), float("nan"), 0)
-    mean = sum(vals) / n
-    if n == 1:
-        return CiSummary(mean, float("inf"), 1)
-    var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+def t_quantile(confidence: float, df: int) -> float:
+    """Two-sided Student-t critical value for a confidence level."""
     try:
         from scipy import stats as sstats
 
-        t = float(sstats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+        return float(sstats.t.ppf(0.5 + confidence / 2.0, df=df))
     except Exception:  # pragma: no cover - scipy is a hard dep, but be safe
-        t = 2.0
-    return CiSummary(mean, t * math.sqrt(var / n), n)
+        return 2.0
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> CiSummary:
+    """Student-t confidence interval over a (small) sample.
+
+    A fold through the single-pass accumulator
+    :class:`repro.experiments.aggregation.Welford` — the same arithmetic
+    the streaming campaign aggregation runs, so batch and streaming CIs
+    agree bit-for-bit by construction.  Non-finite samples are filtered;
+    an empty sample yields ``nan``, a singleton an infinite half-width.
+    """
+    from repro.experiments.aggregation import Welford
+
+    return Welford().extend(values).ci(confidence)
 
 
 def campaign_cis(

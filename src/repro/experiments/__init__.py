@@ -38,23 +38,50 @@ from repro.experiments.scenario_models import (
 from repro.experiments.sweeps import Sweep, SweepResult, run_sweep
 from repro.experiments.lifetime import LifetimeResult, compare_lifetimes, run_lifetime
 
-#: campaign exports resolved lazily (PEP 562) so that running the CLI as
-#: ``python -m repro.experiments.campaign`` does not import the module
-#: twice (once via this package, once as ``__main__``).
-_CAMPAIGN_EXPORTS = (
-    "CampaignSpec",
-    "CampaignResult",
-    "ResultCache",
-    "config_key",
-    "run_campaign",
-)
+#: campaign-service exports resolved lazily (PEP 562) so that running the
+#: CLI as ``python -m repro.experiments.campaign`` does not import the
+#: module twice (once via this package, once as ``__main__``); mapped to
+#: the layer module that owns each name (see docs/campaigns.md).
+_LAZY_EXPORTS = {
+    # spec / orchestration
+    "CampaignSpec": "campaign",
+    "CampaignResult": "campaign",
+    "run_campaign": "campaign",
+    "collect_campaign": "campaign",
+    # store layer
+    "ResultStore": "store",
+    "ResultCache": "store",
+    "JsonDirStore": "store",
+    "SqliteStore": "store",
+    "open_store": "store",
+    "migrate_json_dir": "store",
+    "config_key": "store",
+    "shard_of": "store",
+    # scheduler layer
+    "Scheduler": "scheduler",
+    "SerialScheduler": "scheduler",
+    "PoolScheduler": "scheduler",
+    "AsyncScheduler": "scheduler",
+    "CancelCampaign": "scheduler",
+    "scheduler_by_name": "scheduler",
+    # aggregation layer
+    "Welford": "aggregation",
+    "StreamingAggregate": "aggregation",
+    "CampaignStatus": "aggregation",
+    "campaign_status": "aggregation",
+    # service surface
+    "CampaignService": "service",
+}
 
 
 def __getattr__(name):
-    if name in _CAMPAIGN_EXPORTS:
-        from repro.experiments import campaign
+    if name in _LAZY_EXPORTS:
+        import importlib
 
-        return getattr(campaign, name)
+        module = importlib.import_module(
+            f"repro.experiments.{_LAZY_EXPORTS[name]}"
+        )
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -76,12 +103,8 @@ __all__ = [
     "Sweep",
     "SweepResult",
     "run_sweep",
-    "CampaignSpec",
-    "CampaignResult",
-    "ResultCache",
-    "config_key",
-    "run_campaign",
     "LifetimeResult",
     "compare_lifetimes",
     "run_lifetime",
+    *_LAZY_EXPORTS,
 ]

@@ -205,7 +205,7 @@ class DesBackend(ExperimentBackend):
         return run_scenario(config)
 
     def record_from(self, result, elapsed_s: float = 0.0) -> dict:
-        from repro.experiments.campaign import CACHE_SCHEMA
+        from repro.experiments.store import CACHE_SCHEMA
 
         return {
             "schema": CACHE_SCHEMA,
@@ -455,7 +455,7 @@ class RoundsBackend(ExperimentBackend):
         return RoundRunResult(summary=summary, config=config)
 
     def record_from(self, result: RoundRunResult, elapsed_s: float = 0.0) -> dict:
-        from repro.experiments.campaign import CACHE_SCHEMA
+        from repro.experiments.store import CACHE_SCHEMA
 
         return {
             "schema": CACHE_SCHEMA,

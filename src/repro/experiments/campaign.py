@@ -1,58 +1,59 @@
-"""Parallel experiment campaigns over pluggable backends.
+"""Experiment campaigns: declarative grids over pluggable layers.
 
 The paper's evaluation (section 6) is a grid of scenarios — protocols ×
 parameter values × seed replications.  A :class:`CampaignSpec` declares
-such a grid once; :func:`run_campaign` executes it on a
-``multiprocessing`` worker pool with a per-run JSON result cache keyed by
-a stable hash of the full :class:`~repro.experiments.config.ScenarioConfig`.
+such a grid once; :func:`run_campaign` executes it through three
+pluggable layers (see ``docs/campaigns.md`` for the architecture and
+operations guide):
+
+* a **result store** (:mod:`repro.experiments.store`) — the JSON record
+  dir (the historical ``--cache-dir``) or the SQLite columnar store —
+  keyed by a stable hash of the full
+  :class:`~repro.experiments.config.ScenarioConfig`, so re-running a
+  campaign (or a different campaign sharing cells) only executes the
+  missing runs and an interrupted campaign resumes where it stopped;
+* a **scheduler** (:mod:`repro.experiments.scheduler`) — serial, the
+  multiprocessing pool, or the asyncio work-stealing queue with worker
+  heartbeats and graceful cancel;
+* **streaming aggregation** (:mod:`repro.experiments.aggregation`) —
+  per-cell running mean ± Student-t CI (Welford) updated as records
+  land, so ``status`` renders tables for campaigns still in flight.
+
 Each run executes on the config's **experiment backend**
 (:mod:`repro.experiments.backends`): ``des`` — the packet-level
 simulator — or ``rounds`` — the round-model stabilization engine, orders
-of magnitude faster per run, which is what lets stabilization-vs-daemon
-campaigns (``figd02``) reach paper scale.  ``backend`` is an ordinary
-config field, so it sweeps like any grid axis.
-Re-running a campaign (or a different campaign sharing cells — e.g. the
-Figure 7/8/9 sweeps, which extract different metrics from the *same*
-simulations) only executes the missing runs, and an interrupted campaign
-resumes from whatever the cache already holds.
+of magnitude faster per run.  ``backend`` is an ordinary config field,
+so it sweeps like any grid axis.
 
-Aggregation groups the per-seed replications into mean ± Student-t
-confidence intervals via :func:`repro.analysis.stats.mean_ci`.
-
-Command line::
+Command line (the flat form; ``submit``/``status``/``results``/
+``migrate`` subcommands cover the service workflow)::
 
     PYTHONPATH=src python -m repro.experiments.campaign \
         --protocols ss-spst,ss-spst-e --grid v_max=1,5,10 \
-        --seeds 1,2,3 --workers 4 --cache-dir .campaign-cache
+        --seeds 1,2,3 --workers 4 --store campaign.sqlite
 
-    PYTHONPATH=src python -m repro.experiments.campaign --figure fig09 \
-        --workers 4 --cache-dir .campaign-cache
-
-Cache layout: one ``<hash>.json`` file per run under ``--cache-dir``,
-holding the schema version, the exact config, the
-:class:`~repro.metrics.hub.RunSummary` fields and the runner diagnostics.
-Files are written atomically (tmp + rename) so a killed campaign never
-leaves a truncated record behind.
+    PYTHONPATH=src python -m repro.experiments.campaign status \
+        --figure figd02 --store campaign.sqlite
 
 Distributed campaigns: ``--shard I/K`` executes only a deterministic
-config-hash partition of the runs, so K machines sharing a cache dir
-split one campaign without coordination (see :func:`shard_of`); a final
-un-sharded invocation assembles everything from cache.
+config-hash partition of the runs, so K machines sharing a store split
+one campaign without coordination (see
+:func:`~repro.experiments.store.shard_of`); ``--steal`` additionally
+claims and runs other shards' leftovers once the own share is in.  A
+final un-sharded invocation assembles everything from the store.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
-import hashlib
 import itertools
 import json
-import multiprocessing
 import os
 import sys
 import time
 import typing
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.backends import (
@@ -64,175 +65,44 @@ from repro.experiments.backends import (
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import RunResult
 
-#: record-layout version written to new cache files.  v2 added the
-#: optional ``backend`` key (absent = "des"); loading still accepts every
-#: version in ``COMPATIBLE_SCHEMAS`` and tolerates records that lack
-#: later-added summary/diagnostic fields, so old caches keep hitting.
-CACHE_SCHEMA = 2
-
-#: record versions the loader accepts; files outside this set are
-#: treated as cache misses, never errors.
-COMPATIBLE_SCHEMAS = (1, 2)
-
-#: version prefix of the *config hash* — deliberately decoupled from
-#: ``CACHE_SCHEMA`` (bumping the record layout must not re-key every
-#: cached run; bump this only when run *semantics* change).
-HASH_SCHEMA = 1
+# Run identity and record persistence live in the store layer; the names
+# are re-exported here because this module defined them for five PRs and
+# tests/notebooks import them from both places.
+from repro.experiments.store import (  # noqa: F401  (re-exports)
+    CACHE_SCHEMA,
+    COMPATIBLE_SCHEMAS,
+    HASH_SCHEMA,
+    _HASH_NEUTRAL_DEFAULTS,
+    JsonDirStore,
+    ResultCache,
+    ResultStore,
+    SqliteStore,
+    config_key,
+    migrate_json_dir,
+    open_store,
+    probe_store,
+    record_from_result,
+    result_from_record,
+    shard_of,
+    store_location,
+)
+from repro.experiments.scheduler import (
+    SCHEDULER_NAMES,
+    CancelCampaign,
+    PoolScheduler,
+    Scheduler,
+    scheduler_by_name,
+    worker_id,
+)
+from repro.experiments.aggregation import (
+    StreamingAggregate,
+    campaign_status,
+)
 
 #: RunResult diagnostics persisted alongside the summary
 #: (kept as a module name for backwards compatibility; the DES backend
 #: owns the authoritative list)
 _DIAGNOSTIC_FIELDS = DesBackend.DIAGNOSTIC_FIELDS
-
-
-# ----------------------------------------------------------------------
-# Config identity
-# ----------------------------------------------------------------------
-#: fields added to ScenarioConfig *after* caches existed in the wild,
-#: mapped to the behavior-neutral default they were introduced with.  At
-#: that default the field is dropped from the hash payload (and patched
-#: into stored records on load), so every pre-existing cache entry — and
-#: every campaign hash — stays valid; only non-default values fork new
-#: cache cells.
-_HASH_NEUTRAL_DEFAULTS: Dict[str, object] = {
-    "daemon": "distributed",
-    "backend": "des",
-    # scenario-model axes (PR 5): the paper's scenario is the default on
-    # every axis, so default configs keep their pre-model-API hashes
-    "placement": "uniform",
-    "mobility": "waypoint",
-    "membership": "static-random",
-    "traffic": "cbr",
-    "model_params": (),
-    "daemon_k": 4,
-    "density_ref_n": 0,
-    # rounds-engine implementation (PR 6): bit-identical trajectories by
-    # contract, so the axis never changes results — only "array" forks a
-    # cell (useful to benchmark cache-cold, not to distinguish outputs)
-    "engine": "object",
-}
-
-
-def _hash_payload(config: ScenarioConfig) -> Dict[str, object]:
-    payload = dataclasses.asdict(config)
-    for name, default in _HASH_NEUTRAL_DEFAULTS.items():
-        if payload.get(name) == default:
-            del payload[name]
-    # External scenario inputs (the trace file) join the identity by
-    # *content*: editing the file must fork the cache key, not serve
-    # stale results computed from the old trajectories.
-    from repro.experiments.scenario_models import scenario_content_fingerprint
-
-    fingerprint = scenario_content_fingerprint(config)
-    if fingerprint is not None:
-        payload["scenario_content"] = fingerprint
-    return payload
-
-
-def config_key(config: ScenarioConfig) -> str:
-    """Stable content hash of a scenario config.
-
-    Canonical JSON (sorted keys, exact float repr) of every dataclass
-    field, prefixed with the cache schema version.  Two configs collide
-    iff they are field-for-field identical, so the hash is a safe cache
-    key across processes and sessions.  Later-added fields are dropped at
-    their defaults (see ``_HASH_NEUTRAL_DEFAULTS``) so old caches keep
-    hitting.
-    """
-    payload = json.dumps(
-        _hash_payload(config), sort_keys=True, separators=(",", ":")
-    )
-    digest = hashlib.sha256(
-        f"v{HASH_SCHEMA}:{payload}".encode("utf-8")
-    ).hexdigest()
-    return digest[:24]
-
-
-def shard_of(config: ScenarioConfig, n_shards: int) -> int:
-    """Deterministic shard assignment by config hash.
-
-    Stable across machines and campaign compositions (it depends on the
-    run's identity alone), so K workers pointing ``--shard i/K`` at one
-    shared cache dir partition any campaign without coordination.
-    """
-    return int(config_key(config), 16) % n_shards
-
-
-# ----------------------------------------------------------------------
-# Persistent per-run records
-# ----------------------------------------------------------------------
-def record_from_result(result, elapsed_s: float = 0.0) -> dict:
-    """JSON-safe record of one finished run (any backend)."""
-    backend = backend_by_name(getattr(result.config, "backend", "des"))
-    return backend.record_from(result, elapsed_s=elapsed_s)
-
-
-def result_from_record(record: dict):
-    """Rebuild the result a record was made from (any backend, any era).
-
-    Dispatches on the record's ``backend`` key (absent in v1 records,
-    meaning DES) and tolerates records that lack later-added summary or
-    diagnostic fields — a v1 cache written before those fields existed
-    keeps loading unchanged.
-    """
-    return backend_by_name(record.get("backend", "des")).result_from_record(
-        record
-    )
-
-
-class ResultCache:
-    """Directory of ``<config_key>.json`` run records."""
-
-    def __init__(self, root: str) -> None:
-        self.root = root
-        os.makedirs(root, exist_ok=True)
-
-    def path(self, config: ScenarioConfig) -> str:
-        return os.path.join(self.root, f"{config_key(config)}.json")
-
-    def load(self, config: ScenarioConfig) -> Optional[dict]:
-        """The cached record for ``config``, or None.
-
-        Unreadable/stale files are misses: the run is simply redone (and
-        the file rewritten), so a corrupt cache can never fail a campaign.
-        """
-        try:
-            with open(self.path(config), "r", encoding="utf-8") as fh:
-                record = json.load(fh)
-        except (OSError, ValueError):
-            return None
-        if record.get("schema") not in COMPATIBLE_SCHEMAS:
-            return None
-        if record.get("backend", "des") != config.backend:
-            return None  # a foreign backend's record cannot impersonate
-        stored = record.get("config")
-        if not isinstance(stored, dict):
-            return None
-        known = {f.name for f in dataclasses.fields(ScenarioConfig)}
-        if not set(stored) <= known:
-            return None  # a future era's record cannot impersonate
-        # Records written before a hash-neutral field existed lack it;
-        # they describe the default behavior by construction.  Rebuilding
-        # the config normalizes JSON artifacts (model_params round-trips
-        # as lists of lists) before the identity comparison.
-        stored = {**_HASH_NEUTRAL_DEFAULTS, **stored}
-        try:
-            rebuilt = ScenarioConfig(**stored)
-        except (TypeError, ValueError):
-            return None  # unconstructible record (hand-edited file)
-        if rebuilt != config:
-            return None  # hash collision or hand-edited file
-        record["config"] = dataclasses.asdict(rebuilt)
-        return record
-
-    def store(self, config: ScenarioConfig, record: dict) -> str:
-        """Atomically persist a record (resumable after interruption)."""
-        path = self.path(config)
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(record, fh, sort_keys=True)
-        os.replace(tmp, path)
-        return path
 
 
 # ----------------------------------------------------------------------
@@ -329,31 +199,28 @@ def _execute(config: ScenarioConfig) -> dict:
     return backend.record_from(result, elapsed_s=time.perf_counter() - t0)
 
 
-def _execute_indexed(payload: Tuple[int, ScenarioConfig]) -> Tuple[int, dict]:
-    """Worker-side wrapper carrying the run's position in the campaign,
-    so out-of-order pool completions (and duplicate configs, e.g.
-    repeated seeds) map back to the right result slot."""
-    i, config = payload
-    return i, _execute(config)
-
-
 @dataclass
 class CampaignResult:
     """All runs of a campaign plus cache accounting.
 
     ``results`` is aligned with ``spec.configs()``; entries are ``None``
-    for runs outside this invocation's shard that no cache could supply
-    (``skipped`` counts them).  Aggregation works over whatever is
-    present, so a shard can still print its partial table.
+    for runs outside this invocation's shard that no store could supply
+    (``skipped`` counts them) — and, on a cancelled campaign, for runs
+    that never got to execute.  Aggregation works over whatever is
+    present, so a shard (or a cancelled run) still prints its partial
+    table.
     """
 
     spec: CampaignSpec
     results: List[Optional[RunResult]]  # aligned with spec.configs()
     executed: int = 0
-    cache_hits: int = 0  # disk-cache hits
+    cache_hits: int = 0  # store hits
     memo_hits: int = 0  # in-memory memo hits
     skipped: int = 0  # out-of-shard runs left to other machines
+    stolen: int = 0  # foreign-shard runs claimed and executed here
+    cancelled: bool = False  # a CancelCampaign stopped dispatch early
     elapsed_s: float = 0.0
+    stream: Optional[StreamingAggregate] = None  # live per-cell mean/CI
 
     # ------------------------------------------------------------------
     def by_cell(self) -> Dict[Tuple[str, Tuple], List[RunResult]]:
@@ -362,7 +229,7 @@ class CampaignResult:
 
         The point is keyed by its ``(field, value)`` tuple so cells stay
         hashable; iteration order follows the spec.  Skipped
-        (out-of-shard, uncached) runs are absent from the lists.
+        (out-of-shard, unstored) runs are absent from the lists.
         """
         out: Dict[Tuple[str, Tuple], List[RunResult]] = {}
         i = 0
@@ -430,22 +297,40 @@ def cell_label(point_items: Iterable[Tuple[str, object]]) -> str:
 
 
 def _summary_extractor(name: str) -> Callable[[RunResult], float]:
-    """Deprecated: DES-only ``RunSummary`` attribute pull.
+    """Deprecated: DES-only metric pull by name.
 
-    Superseded by the typed :class:`~repro.experiments.backends.MetricSpec`
-    registry — use ``metric_extractor(name, spec.backends())`` or
+    A thin alias over the ``des`` backend's typed
+    :class:`~repro.experiments.backends.MetricSpec` registry — the one
+    source of truth for metric extraction.  Use
+    ``metric_extractor(name, spec.backends())`` or
     ``CampaignResult.extractor(name)``, which dispatch per backend (see
-    the README migration note).  Kept with its historical signature and
-    error message for existing callers.
+    the README migration note).
     """
-    from repro.metrics.hub import RunSummary
-
-    if name not in {f.name for f in dataclasses.fields(RunSummary)}:
+    specs = backend_by_name("des").metrics()
+    if name not in specs:
         raise ValueError(
-            f"unknown summary metric {name!r}; choose from "
-            f"{sorted(f.name for f in dataclasses.fields(RunSummary))}"
+            f"unknown summary metric {name!r}: not in the 'des' backend's "
+            f"MetricSpec registry; choose from {sorted(specs)}"
         )
-    return lambda r: float(getattr(r.summary, name))
+    spec = specs[name]
+    return lambda r: float(spec.extract(r))
+
+
+def _resolve_store(
+    store, cache_dir: Optional[str]
+) -> Optional[ResultStore]:
+    """One store from the modern ``store=`` and legacy ``cache_dir=``
+    arguments (``cache_dir`` is shorthand for a JSON dir store)."""
+    if store is not None and cache_dir is not None:
+        raise ValueError(
+            "pass store= or cache_dir=, not both "
+            "(cache_dir=DIR is shorthand for store='json:DIR')"
+        )
+    if store is not None:
+        return open_store(store)
+    if cache_dir is not None:
+        return JsonDirStore(cache_dir)
+    return None
 
 
 def run_campaign(
@@ -456,24 +341,44 @@ def run_campaign(
     memo: Optional[Dict[ScenarioConfig, RunResult]] = None,
     progress: Optional[Callable[[str], None]] = None,
     shard: Optional[Tuple[int, int]] = None,
+    store=None,
+    scheduler: Optional[Scheduler] = None,
+    steal: bool = False,
+    stream_metrics: Optional[Sequence[str]] = None,
+    on_update: Optional[Callable[[StreamingAggregate], None]] = None,
 ) -> CampaignResult:
     """Execute a campaign, reusing every result that is already known.
 
     Lookup order per run: ``memo`` (an in-memory dict shared across
-    campaigns in one process — the sweep/figure cache) → ``cache_dir``
-    (the persistent JSON store) → execute.  Pending runs go to a
-    ``multiprocessing`` pool when ``workers > 1``; each finished record is
-    written to the cache as it arrives, so interrupting the campaign
+    campaigns in one process — the sweep/figure cache) → the result
+    store → execute.  Pending runs go to the ``scheduler`` (default: the
+    multiprocessing pool when ``workers > 1``); each finished record is
+    written to the store as it arrives, so interrupting the campaign
     loses at most the in-flight runs.
 
-    ``shard=(i, k)`` distributes one campaign over ``k`` machines sharing
-    a cache dir: runs are partitioned deterministically by config hash
-    (:func:`shard_of`) and only shard ``i``'s share is *executed* here —
-    foreign-shard runs are still served from the caches when available
-    (so overlapping or repeated shard invocations resume cleanly), and
-    are otherwise reported as ``skipped``.  After every shard has run, a
-    final un-sharded invocation against the shared cache assembles the
-    full campaign without executing anything.
+    ``store`` is a :class:`~repro.experiments.store.ResultStore` or a
+    spec string (``json:DIR``, ``sqlite:PATH``, or a bare path);
+    ``cache_dir`` remains as shorthand for a JSON dir store.
+
+    ``shard=(i, k)`` distributes one campaign over ``k`` machines
+    sharing a store: runs are partitioned deterministically by config
+    hash (:func:`~repro.experiments.store.shard_of`) and only shard
+    ``i``'s share is *executed* here — foreign-shard runs are still
+    served from the store when available (so overlapping or repeated
+    shard invocations resume cleanly), and are otherwise reported as
+    ``skipped``.  With ``steal=True`` this invocation instead *claims*
+    foreign leftovers through the store and runs them after its own
+    share (claims expire if the claimant dies; records are idempotent
+    per key, so a duplicate run can never double-count).  After every
+    shard has run, a final un-sharded invocation against the shared
+    store assembles the full campaign without executing anything.
+
+    Streaming aggregation runs alongside: ``result.stream`` holds the
+    per-cell running mean/CI over every landed run, and ``on_update``
+    (called after each executed record) may watch it — or raise
+    :class:`~repro.experiments.scheduler.CancelCampaign` to stop the
+    campaign gracefully, which returns the partial result marked
+    ``cancelled`` with everything so far persisted.
     """
     if shard is not None:
         index, count = shard
@@ -486,59 +391,136 @@ def run_campaign(
             )
     t0 = time.perf_counter()
     configs = spec.configs()
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    result_store = _resolve_store(store, cache_dir)
+    stream = StreamingAggregate(
+        spec,
+        stream_metrics
+        if stream_metrics is not None
+        else default_metrics(spec.backends()),
+    )
 
     results: List[Optional[RunResult]] = [None] * len(configs)
     pending: List[Tuple[int, ScenarioConfig]] = []
+    stolen_jobs: List[Tuple[int, ScenarioConfig]] = []
     memo_hits = cache_hits = skipped = 0
+    me = worker_id()
 
     for i, cfg in enumerate(configs):
         if memo is not None and cfg in memo:
             results[i] = memo[cfg]
             memo_hits += 1
+            stream.update(i, results[i])
             continue
-        record = cache.load(cfg) if cache is not None else None
+        record = result_store.load(cfg) if result_store is not None else None
         if record is not None:
             results[i] = result_from_record(record)
             cache_hits += 1
             if memo is not None:
                 memo[cfg] = results[i]
+            stream.update(i, results[i])
             continue
         if shard is not None and shard_of(cfg, shard[1]) != shard[0]:
-            skipped += 1
+            if (
+                steal
+                and result_store is not None
+                and result_store.claim(config_key(cfg), me)
+            ):
+                stolen_jobs.append((i, cfg))
+            else:
+                skipped += 1
             continue
         pending.append((i, cfg))
 
-    def _finish(i: int, cfg: ScenarioConfig, record: dict) -> None:
+    executed = 0
+    cancelled = False
+
+    def _finish(i: int, record: dict) -> None:
+        nonlocal executed
+        cfg = configs_by_index[i]
         results[i] = result_from_record(record)
-        if cache is not None:
-            cache.store(cfg, record)
+        executed += 1
+        if result_store is not None:
+            result_store.store(cfg, record)
         if memo is not None:
             memo[cfg] = results[i]
+        stream.update(i, results[i])
         if progress:
             progress(
                 f"[{spec.name}] {cfg.protocol} seed={cfg.seed} "
                 f"({record['elapsed_s']:.2f}s)"
             )
+        if on_update is not None:
+            on_update(stream)  # may raise CancelCampaign
 
-    configs_by_index = dict(pending)
-    n_workers = min(workers, len(pending))
-    if n_workers > 1:
-        with multiprocessing.Pool(n_workers) as pool:
-            for i, record in pool.imap_unordered(_execute_indexed, pending):
-                _finish(i, configs_by_index[i], record)
-    else:
-        for i, cfg in pending:
-            _finish(i, cfg, _execute(cfg))
+    # own-shard runs first; stolen leftovers only once our share is in
+    jobs = pending + stolen_jobs
+    configs_by_index = dict(jobs)
+    engine = scheduler if scheduler is not None else PoolScheduler(workers)
+    if isinstance(engine, str):
+        engine = scheduler_by_name(engine, workers)
+    try:
+        if jobs:
+            engine.execute(_execute, jobs, _finish, store=result_store)
+    except CancelCampaign:
+        cancelled = True
+    finally:
+        if result_store is not None:
+            # claims for stolen runs we never got to: hand them back now
+            # rather than letting the TTL expire them
+            for i, cfg in stolen_jobs:
+                if results[i] is None:
+                    result_store.release(config_key(cfg))
+            result_store.flush()
 
     return CampaignResult(
         spec=spec,
         results=list(results),
-        executed=len(pending),
+        executed=executed,
         cache_hits=cache_hits,
         memo_hits=memo_hits,
         skipped=skipped,
+        stolen=sum(1 for i, _ in stolen_jobs if results[i] is not None),
+        cancelled=cancelled,
         elapsed_s=time.perf_counter() - t0,
+        stream=stream,
+    )
+
+
+def collect_campaign(
+    spec: CampaignSpec,
+    store,
+    memo: Optional[Dict[ScenarioConfig, RunResult]] = None,
+) -> CampaignResult:
+    """Assemble a campaign from a store without executing anything.
+
+    The read-only counterpart of :func:`run_campaign` (the ``results``
+    service verb): every stored run loads into its slot, missing runs
+    count as ``skipped``.  Aggregation and tables work over whatever is
+    present.
+    """
+    t0 = time.perf_counter()
+    result_store = open_store(store)
+    configs = spec.configs()
+    results: List[Optional[RunResult]] = [None] * len(configs)
+    stream = StreamingAggregate(spec, default_metrics(spec.backends()))
+    cache_hits = 0
+    for i, cfg in enumerate(configs):
+        record = result_store.load(cfg)
+        if record is None:
+            continue
+        results[i] = result_from_record(record)
+        cache_hits += 1
+        if memo is not None:
+            memo[cfg] = results[i]
+        stream.update(i, results[i])
+    return CampaignResult(
+        spec=spec,
+        results=results,
+        executed=0,
+        cache_hits=cache_hits,
+        skipped=len(configs) - cache_hits,
+        elapsed_s=time.perf_counter() - t0,
+        stream=stream,
     )
 
 
@@ -603,12 +585,10 @@ def _parse_grid(specs: List[str]) -> Dict[str, Tuple]:
     return grid
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments.campaign",
-        description="Run a protocol/parameter/seed campaign in parallel "
-        "with persistent per-run caching.",
-    )
+def _add_spec_args(parser: argparse.ArgumentParser) -> None:
+    """The campaign-shape flags shared by the flat CLI and every
+    subcommand (``submit``/``status``/``results`` must name the same
+    campaign to talk about the same runs)."""
     what = parser.add_argument_group("what to run")
     what.add_argument(
         "--figure",
@@ -669,10 +649,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="paper-scale base config (default: quick scale)",
     )
+    what.add_argument(
+        "--name", default="cli", help="campaign name (progress labels)"
+    )
+
+
+def _add_store_args(parser: argparse.ArgumentParser, group=None) -> None:
+    target = group if group is not None else parser
+    target.add_argument(
+        "--store",
+        default=None,
+        metavar="SPEC",
+        help="result store: a directory (JSON record dir, the historical "
+        "cache layout), a *.sqlite/*.db path (SQLite columnar store), or "
+        "an explicit json:DIR / sqlite:PATH spec",
+    )
+    target.add_argument(
+        "--cache-dir",
+        default=None,
+        help="legacy shorthand for --store json:DIR",
+    )
+
+
+def _add_metrics_arg(target) -> None:
+    target.add_argument(
+        "--metrics",
+        default=None,
+        help="metric names for the aggregate table (default: per-backend "
+        "choice, e.g. pdr,energy_per_packet_mj on des and "
+        "rounds,evaluations,moves on rounds)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.campaign",
+        description="Run a protocol/parameter/seed campaign in parallel "
+        "with a persistent per-run result store.",
+    )
+    _add_spec_args(parser)
     how = parser.add_argument_group("how to run")
     how.add_argument("--workers", type=int, default=1, help="pool size")
+    _add_store_args(parser, how)
     how.add_argument(
-        "--cache-dir", default=None, help="persistent JSON result cache"
+        "--scheduler",
+        default=None,
+        choices=SCHEDULER_NAMES,
+        help="execution engine: 'serial', 'pool' (multiprocessing, the "
+        "default for --workers > 1), or 'async' (asyncio job queue with "
+        "work stealing, heartbeats and graceful cancel)",
     )
     how.add_argument(
         "--shard",
@@ -680,19 +705,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="I/K",
         help="execute only shard I of K (deterministic config-hash "
         "partition); K machines pointing different shards at one shared "
-        "--cache-dir split the campaign, and a final un-sharded run "
-        "assembles it from cache",
+        "store split the campaign, and a final un-sharded run assembles "
+        "it from the store",
     )
     how.add_argument(
-        "--metrics",
-        default=None,
-        help="metric names for the aggregate table (default: per-backend "
-        "choice, e.g. pdr,energy_per_packet_mj on des and "
-        "rounds,evaluations,moves on rounds)",
+        "--steal",
+        action="store_true",
+        help="with --shard: after executing the own share, claim and run "
+        "other shards' still-missing runs through the store (claims "
+        "expire if the claimant dies; records stay exactly-once per key)",
     )
-    how.add_argument(
-        "--name", default="cli", help="campaign name (progress labels)"
-    )
+    _add_metrics_arg(how)
     how.add_argument(
         "--dry-run",
         action="store_true",
@@ -849,7 +872,152 @@ def spec_from_args(args) -> CampaignSpec:
     )
 
 
+def _store_spec_from_args(args) -> Optional[str]:
+    """Resolve ``--store``/``--cache-dir`` into one store spec string."""
+    if args.store and args.cache_dir:
+        raise SystemExit(
+            "--store and --cache-dir both given; --cache-dir DIR is "
+            "shorthand for --store json:DIR — drop one of them"
+        )
+    if args.store:
+        return args.store
+    if args.cache_dir:
+        return f"json:{args.cache_dir}"
+    return None
+
+
+def _metrics_from_args(args, spec: CampaignSpec) -> List[str]:
+    if args.metrics:
+        return [m for m in args.metrics.split(",") if m]
+    return list(default_metrics(spec.backends()))
+
+
+# ----------------------------------------------------------------------
+# Service subcommands
+# ----------------------------------------------------------------------
+SUBCOMMANDS = ("submit", "status", "results", "migrate")
+
+
+def _build_view_parser(verb: str, description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro.experiments.campaign {verb}",
+        description=description,
+    )
+    _add_spec_args(parser)
+    _add_store_args(parser)
+    _add_metrics_arg(parser)
+    return parser
+
+
+def _require_store(args) -> str:
+    store_spec = _store_spec_from_args(args)
+    if store_spec is None:
+        raise SystemExit("this subcommand needs --store (or --cache-dir)")
+    return store_spec
+
+
+def _main_status(argv: Sequence[str]) -> int:
+    parser = _build_view_parser(
+        "status",
+        "Streaming view of a campaign's store: per-cell running mean/CI "
+        "over whatever has landed so far, plus worker heartbeats.  "
+        "Read-only; safe while schedulers are writing.",
+    )
+    args = parser.parse_args(argv)
+    try:
+        spec = spec_from_args(args)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    store = probe_store(_require_store(args))
+    if store is None:
+        print(f"# campaign {spec.name}: 0/{spec.size()} runs (store absent)")
+        return 0
+    status = campaign_status(
+        spec, store, metrics=_metrics_from_args(args, spec) if args.metrics else None
+    )
+    print(
+        f"# campaign {spec.name}: {status.done}/{status.total} runs complete"
+        f"{' [complete]' if status.complete else ''}"
+    )
+    print(status.format_table())
+    print(status.format_workers())
+    return 0
+
+
+def _main_results(argv: Sequence[str]) -> int:
+    parser = _build_view_parser(
+        "results",
+        "Assemble a campaign's aggregate table from its store without "
+        "executing anything (missing runs are reported, not run).",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable campaign record to PATH",
+    )
+    args = parser.parse_args(argv)
+    try:
+        spec = spec_from_args(args)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    campaign = collect_campaign(spec, _require_store(args))
+    metrics = _metrics_from_args(args, spec)
+    print(
+        f"# campaign {spec.name}: {spec.size()} runs "
+        f"(stored={campaign.cache_hits} missing={campaign.skipped})"
+    )
+    print(campaign.format_table(metrics))
+    if args.json_out:
+        _write_json_record(args.json_out, campaign, metrics)
+        print(f"# wrote {args.json_out}")
+    return 0
+
+
+def _main_migrate(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.campaign migrate",
+        description="Losslessly ingest a v1/v2 JSON cache dir into "
+        "another result store (typically SQLite).",
+    )
+    parser.add_argument("src", help="source JSON record dir (<hash>.json)")
+    parser.add_argument(
+        "dest", help="destination store spec (e.g. campaign.sqlite)"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress"
+    )
+    args = parser.parse_args(argv)
+    if not os.path.isdir(args.src):
+        raise SystemExit(f"source is not a directory: {args.src}")
+    progress = None if args.quiet else lambda msg: print(msg, flush=True)
+    with open_store(args.dest) as dest:
+        migrated, skipped = migrate_json_dir(
+            args.src, dest, progress=progress
+        )
+    print(
+        f"# migrated {migrated} records from {args.src} to "
+        f"{store_location(args.dest)} (skipped {skipped} non-records)"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        verb, rest = argv[0], argv[1:]
+        if verb == "status":
+            return _main_status(rest)
+        if verb == "results":
+            return _main_results(rest)
+        if verb == "migrate":
+            return _main_migrate(rest)
+        # "submit" is the flat CLI under its service name
+        argv = rest
+    return _main_flat(argv)
+
+
+def _main_flat(argv: Sequence[str]) -> int:
     args = build_parser().parse_args(argv)
     if args.list_figures:
         from repro.experiments.figures import FIGURES
@@ -864,16 +1032,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as exc:  # spec/config validation -> clean CLI error
         raise SystemExit(str(exc)) from None
     shard = _parse_shard(args.shard)
+    store_spec = _store_spec_from_args(args)
     if args.dry_run:
         # The full plan without executing anything: per-run identity and
-        # shard/cache status, then the campaign shape.  The cache is only
-        # probed when its directory already exists (ResultCache would
-        # create it), so a dry run is always side-effect free.
-        cache = (
-            ResultCache(args.cache_dir)
-            if args.cache_dir and os.path.isdir(args.cache_dir)
-            else None
-        )
+        # shard/store status, then the campaign shape.  The store is only
+        # probed when its location already exists (opening would create
+        # it), so a dry run is always side-effect free.
+        store = probe_store(store_spec) if store_spec else None
         from repro.experiments.scenario_models import (
             non_default_axes,
             plan_lines,
@@ -886,7 +1051,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 mine = shard_of(cfg, shard[1]) == shard[0]
                 mine_count += mine
                 marker = "  [mine]" if mine else "  [other shard]"
-            if cache is not None and cache.load(cfg) is not None:
+            if store is not None and store.load(cfg) is not None:
                 warm += 1
                 marker += "  [cached]"
             # Non-default scenario models ride on the run line so sharded
@@ -911,34 +1076,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"# shard {shard[0]}/{shard[1]}: mine={mine_count} "
                 f"other={spec.size() - mine_count}"
             )
-        if cache is not None:
+        if store is not None:
             print(f"# warm cache hits: {warm}/{spec.size()}")
-        elif args.cache_dir:
-            print(f"# warm cache hits: 0/{spec.size()} (cache dir absent)")
+        elif store_spec:
+            # historical wording when the legacy flag named the store
+            what = "cache dir" if args.cache_dir else "store"
+            print(f"# warm cache hits: 0/{spec.size()} ({what} absent)")
         return 0
 
     progress = None if args.quiet else lambda msg: print(msg, flush=True)
+    scheduler = (
+        scheduler_by_name(args.scheduler, args.workers)
+        if args.scheduler
+        else None
+    )
     campaign = run_campaign(
         spec,
         workers=args.workers,
-        cache_dir=args.cache_dir,
+        store=store_spec,
         progress=progress,
         shard=shard,
+        scheduler=scheduler,
+        steal=args.steal,
     )
-    if args.metrics:
-        metrics = [m for m in args.metrics.split(",") if m]
-    else:
-        metrics = list(default_metrics(spec.backends()))
+    metrics = _metrics_from_args(args, spec)
     print()
     shard_note = (
         f" shard={shard[0]}/{shard[1]} skipped={campaign.skipped}"
         if shard is not None
         else ""
     )
+    steal_note = f" stolen={campaign.stolen}" if args.steal else ""
+    cancel_note = " CANCELLED" if campaign.cancelled else ""
     print(
         f"# campaign {spec.name}: {spec.size()} runs "
         f"(executed={campaign.executed} cached={campaign.cache_hits} "
-        f"memo={campaign.memo_hits}{shard_note}) in {campaign.elapsed_s:.1f}s"
+        f"memo={campaign.memo_hits}{shard_note}{steal_note}) "
+        f"in {campaign.elapsed_s:.1f}s{cancel_note}"
     )
     print(campaign.format_table(metrics))
     if args.json_out:

@@ -127,9 +127,15 @@ class FigureDef:
         cache: Dict = None,
         workers: int = 1,
         cache_dir: str = None,
+        store=None,
+        scheduler=None,
     ) -> SweepResult:
         return self.sweep(quick=quick, seeds=seeds).run(
-            cache=cache, workers=workers, cache_dir=cache_dir
+            cache=cache,
+            workers=workers,
+            cache_dir=cache_dir,
+            store=store,
+            scheduler=scheduler,
         )
 
     def check(self, result: SweepResult) -> Dict[str, bool]:

@@ -89,18 +89,48 @@ def run_lifetime(
     )
 
 
+def _lifetime_execute(payload) -> LifetimeResult:
+    """Scheduler worker: one (config, battery) lifetime run.
+
+    Top level (picklable) so ``compare_lifetimes`` can fan out on any
+    :class:`~repro.experiments.scheduler.Scheduler`.
+    """
+    config, battery_j = payload
+    return run_lifetime(config, battery_j)
+
+
 def compare_lifetimes(
     protocols,
     battery_j: float,
     base: Optional[ScenarioConfig] = None,
     seeds=(1, 2),
+    scheduler=None,
+    workers: int = 1,
 ) -> Dict[str, List[LifetimeResult]]:
-    """Battery-limited comparison across protocols on shared scenarios."""
+    """Battery-limited comparison across protocols on shared scenarios.
+
+    Runs through the campaign scheduler layer: pass ``workers > 1`` (or
+    an explicit ``scheduler``) to fan the protocol × seed grid out in
+    parallel; results come back in the same deterministic order either
+    way.
+    """
+    from repro.experiments.scheduler import PoolScheduler
+
     base = base or ScenarioConfig.quick()
-    out: Dict[str, List[LifetimeResult]] = {}
-    for protocol in protocols:
-        out[protocol] = [
-            run_lifetime(base.replace(protocol=protocol, seed=seed), battery_j)
-            for seed in seeds
-        ]
-    return out
+    protocols = list(protocols)
+    seeds = list(seeds)
+    jobs = []
+    for p_i, protocol in enumerate(protocols):
+        for s_i, seed in enumerate(seeds):
+            config = base.replace(protocol=protocol, seed=seed)
+            jobs.append((p_i * len(seeds) + s_i, (config, battery_j)))
+
+    results: List[Optional[LifetimeResult]] = [None] * len(jobs)
+    engine = scheduler if scheduler is not None else PoolScheduler(workers)
+    engine.execute(
+        _lifetime_execute, jobs, lambda i, res: results.__setitem__(i, res)
+    )
+    return {
+        protocol: results[p_i * len(seeds) : (p_i + 1) * len(seeds)]
+        for p_i, protocol in enumerate(protocols)
+    }

@@ -86,15 +86,18 @@ class Sweep:
         cache: Optional[Dict] = None,
         workers: int = 1,
         cache_dir: Optional[str] = None,
+        store=None,
+        scheduler=None,
     ) -> SweepResult:
         """Run the grid through the campaign engine.
 
         ``cache`` maps ScenarioConfig -> RunResult and is shared across
         sweeps: figures that differ only in the metric they extract
         (e.g. Figures 7/8/9) reuse the same simulations.  ``workers``
-        runs the grid on a process pool; ``cache_dir`` additionally
-        persists every run as JSON so later invocations (or other
-        campaigns sharing cells) skip it.
+        runs the grid on a process pool (or any explicit ``scheduler``);
+        ``store`` — a result-store spec or instance, with ``cache_dir``
+        kept as JSON-dir shorthand — additionally persists every run so
+        later invocations (or other campaigns sharing cells) skip it.
         """
         # Imported here: campaign imports this module's types for reuse.
         from repro.experiments.campaign import CampaignSpec, run_campaign
@@ -110,6 +113,8 @@ class Sweep:
             spec,
             workers=workers,
             cache_dir=cache_dir,
+            store=store,
+            scheduler=scheduler,
             memo=cache,
             progress=progress,
         )

@@ -82,6 +82,21 @@ def test_engine() -> str:
 
 
 @pytest.fixture
+def test_store(tmp_path) -> str:
+    """A fresh result-store spec for store-generic tests.
+
+    The CI store leg sets ``REPRO_TEST_STORE=sqlite`` so the campaign /
+    backend / scenario-model tests persist through the SQLite columnar
+    store instead of the JSON record dir; the default keeps the
+    historical ``--cache-dir`` layout.  Both resolve through
+    :func:`repro.experiments.store.open_store`.
+    """
+    if os.environ.get("REPRO_TEST_STORE", "json") == "sqlite":
+        return f"sqlite:{tmp_path / 'results.sqlite'}"
+    return str(tmp_path / "result-cache")
+
+
+@pytest.fixture
 def test_mobility() -> str:
     """Default mobility model for scenario-generic tests.
 

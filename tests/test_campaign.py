@@ -249,12 +249,12 @@ class TestRunCampaign:
             assert par.summary.as_dict() == direct.summary.as_dict()
             assert par.events_executed == direct.events_executed
 
-    def test_resumes_partial_campaign(self, tmp_path):
+    def test_resumes_partial_campaign(self, test_store):
         full = fast_spec(seeds=(1, 2))
         half = fast_spec(protocols=("flooding",), seeds=(1, 2))
-        first = run_campaign(half, workers=2, cache_dir=str(tmp_path))
+        first = run_campaign(half, workers=2, store=test_store)
         assert first.executed == 4
-        rest = run_campaign(full, workers=2, cache_dir=str(tmp_path))
+        rest = run_campaign(full, workers=2, store=test_store)
         assert rest.cache_hits == 4
         assert rest.executed == full.size() - 4
 
@@ -283,10 +283,10 @@ class TestRunCampaign:
         assert second.executed == 0 and second.memo_hits == 1
         assert second.results[0] is first.results[0]
 
-    def test_progress_reports_executed_runs(self, tmp_path):
+    def test_progress_reports_executed_runs(self, test_store):
         seen = []
         spec = fast_spec(protocols=("flooding",), seeds=(1, 2), grid={})
-        run_campaign(spec, cache_dir=str(tmp_path), progress=seen.append)
+        run_campaign(spec, store=test_store, progress=seen.append)
         assert len(seen) == 2
         assert all("flooding" in line for line in seen)
 
@@ -324,11 +324,11 @@ class TestSharding:
             seen = [c for s in shards for c in s]
             assert sorted(map(config_key, seen)) == sorted(map(config_key, configs))
 
-    def test_shard_executes_only_its_share(self, tmp_path):
+    def test_shard_executes_only_its_share(self, test_store):
         spec = fast_spec(seeds=(1, 2))
         mine = [c for c in spec.configs() if shard_of(c, 2) == 0]
         campaign = run_campaign(
-            spec, workers=2, cache_dir=str(tmp_path), shard=(0, 2)
+            spec, workers=2, store=test_store, shard=(0, 2)
         )
         assert campaign.executed == len(mine)
         assert campaign.skipped == spec.size() - len(mine)
@@ -339,21 +339,21 @@ class TestSharding:
         assert agg and all(ci.n >= 1 for ci in agg.values())
         campaign.format_table(["pdr"])
 
-    def test_resume_after_shard_overlap(self, tmp_path):
-        """Both shards into one cache dir — including a repeated (crashed
+    def test_resume_after_shard_overlap(self, test_store):
+        """Both shards into one store — including a repeated (crashed
         and restarted) shard, whose second pass must be pure cache hits —
         then an un-sharded run assembles everything without executing."""
         spec = fast_spec(seeds=(1, 2))
-        first = run_campaign(spec, cache_dir=str(tmp_path), shard=(0, 2))
-        again = run_campaign(spec, cache_dir=str(tmp_path), shard=(0, 2))
+        first = run_campaign(spec, store=test_store, shard=(0, 2))
+        again = run_campaign(spec, store=test_store, shard=(0, 2))
         assert again.executed == 0
         assert again.cache_hits == first.executed
         assert again.skipped == first.skipped
-        other = run_campaign(spec, cache_dir=str(tmp_path), shard=(1, 2))
+        other = run_campaign(spec, store=test_store, shard=(1, 2))
         assert other.executed == spec.size() - first.executed
         assert other.cache_hits == first.executed  # overlap served from cache
         assert other.skipped == 0
-        full = run_campaign(spec, cache_dir=str(tmp_path))
+        full = run_campaign(spec, store=test_store)
         assert full.executed == 0 and full.skipped == 0
         assert full.cache_hits == spec.size()
         assert all(r is not None for r in full.results)
@@ -367,11 +367,11 @@ class TestSharding:
         with pytest.raises(ValueError, match=">= 1"):
             run_campaign(spec, shard=(0, 0))
 
-    def test_cli_shard_flag(self, tmp_path, capsys):
+    def test_cli_shard_flag(self, test_store, capsys):
         args = [
             "--protocols", "flooding", "--seeds", "1,2", "--set", "sim_time=12",
             "--set", "n_nodes=16", "--set", "group_size=4", "--quiet",
-            "--cache-dir", str(tmp_path),
+            "--store", test_store,
         ]
         assert main(args + ["--shard", "0/2"]) == 0
         out0 = capsys.readouterr().out

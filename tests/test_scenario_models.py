@@ -730,7 +730,7 @@ class TestCliAndFigures:
         with pytest.raises(SystemExit, match="--model-param"):
             main(["--set", "model_params=x", "--dry-run"])
 
-    def test_mobility_grid_campaign_runs_end_to_end(self, tmp_path):
+    def test_mobility_grid_campaign_runs_end_to_end(self, test_store):
         rc = main(
             [
                 "--protocols",
@@ -739,8 +739,8 @@ class TestCliAndFigures:
                 "mobility=waypoint,static",
                 "--seeds",
                 "1",
-                "--cache-dir",
-                str(tmp_path),
+                "--store",
+                test_store,
                 "--quiet",
                 "--metrics",
                 "pdr,link_breaks_per_s",
