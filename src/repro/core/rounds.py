@@ -343,8 +343,6 @@ class RoundEngine:
         next_dirty: Optional[Set[int]] = set() if dirty is not None else None
         n_moves = 0
         n_evals = 0
-        parallel = self.daemon.parallel
-        overwrite = self.daemon.overwrite
         for i, step in enumerate(steps):
             # Snapshot semantics: every update in the step is computed
             # from the step-start view, then all are applied.  (A 1-node
@@ -361,28 +359,61 @@ class RoundEngine:
             olds = [view.states[v] for v in todo]
             news = self._evaluate_step(view, todo)
             n_evals += len(todo)
-            evaluated = list(zip(todo, olds, news))
-            for v, old, ns in evaluated:
-                genuine = not ns.approx_equals(old, tol=COST_TOL)
-                if genuine:
-                    n_moves += 1
-                elif not (parallel and overwrite and ns != old):
-                    continue  # no move; silent rewrites only when overwriting
-                # Affected sets are computed per change, immediately after
-                # its apply: single-step reader analysis is exact (flags
-                # and parents are read in the world the change produced),
-                # and the union over steps covers the whole batch.
-                report = view.apply(v, ns)
-                if dirty is not None:
-                    for w in self._affected(view, [(v, old, ns)], [report]):
-                        if pos.get(w, -1) > i:
-                            dirty.add(w)
-                        else:
-                            next_dirty.add(w)
+            n_moves += self._commit_step(
+                view, i, todo, olds, news, dirty, next_dirty, pos
+            )
         if dirty is not None:
             # Dirty nodes the daemon never scheduled this round stay dirty.
             next_dirty |= dirty
         return n_moves, n_evals, next_dirty
+
+    def _commit_step(
+        self,
+        view: GlobalView,
+        step_idx: int,
+        todo: Sequence[int],
+        olds: Sequence[NodeState],
+        news: Sequence[NodeState],
+        dirty: Optional[Set[int]],
+        next_dirty: Optional[Set[int]],
+        pos,
+    ) -> int:
+        """Apply one activation step's evaluated updates; returns the
+        number of genuine moves.
+
+        The engine's second extension point (after :meth:`_evaluate_step`):
+        all of a step's updates are known before any is applied, so
+        subclasses may commit them as one batch —
+        :class:`~repro.core.array_engine.ArrayRoundEngine` scatters the
+        whole step into its columns at once.  Must preserve the scalar
+        semantics exactly: a *genuine* move is one failing the tolerant
+        ``approx_equals`` check; non-genuine but bitwise-different states
+        are still written under parallel overwrite daemons (silent
+        rewrites), and every applied change dirties its affected region,
+        split between this round (steps still ahead, read via ``pos``)
+        and the next.
+        """
+        n_moves = 0
+        parallel = self.daemon.parallel
+        overwrite = self.daemon.overwrite
+        for v, old, ns in zip(todo, olds, news):
+            genuine = not ns.approx_equals(old, tol=COST_TOL)
+            if genuine:
+                n_moves += 1
+            elif not (parallel and overwrite and ns != old):
+                continue  # no move; silent rewrites only when overwriting
+            # Affected sets are computed per change, immediately after
+            # its apply: single-step reader analysis is exact (flags
+            # and parents are read in the world the change produced),
+            # and the union over steps covers the whole batch.
+            report = view.apply(v, ns)
+            if dirty is not None:
+                for w in self._affected(view, [(v, old, ns)], [report]):
+                    if pos.get(w, -1) > step_idx:
+                        dirty.add(w)
+                    else:
+                        next_dirty.add(w)
+        return n_moves
 
     def _play_adaptive_round(
         self, view: GlobalView, dirty: Optional[Set[int]], round_no: int

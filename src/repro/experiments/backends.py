@@ -197,6 +197,12 @@ class DesBackend(ExperimentBackend):
                 f"engine {config.engine!r} is a rounds-backend knob; the "
                 f"DES backend has no round engine (use backend='rounds')"
             )
+        if config.topology != "dense":
+            raise ValueError(
+                f"topology {config.topology!r} is a rounds-backend knob; "
+                f"the DES backend builds its own dense geometry (use "
+                f"backend='rounds')"
+            )
         validate_models(config, self.name)
 
     def run(self, config: ScenarioConfig):
@@ -350,10 +356,12 @@ def build_round_scenario(config: ScenarioConfig):
     from repro.core.metrics import metric_by_name
     from repro.energy.radio import FirstOrderRadioModel
     from repro.experiments.scenario_models import build_scenario_space
+    from repro.graph.sparse import SparseTopology
     from repro.graph.topology import Topology
 
     space = build_scenario_space(config)
-    topo = Topology.from_positions(
+    topo_cls = SparseTopology if config.topology == "sparse" else Topology
+    topo = topo_cls.from_positions(
         space.mobility.positions(0.0),
         config.max_range,
         source=space.source,

@@ -18,6 +18,9 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+#: recognized values of :attr:`ScenarioConfig.topology`
+TOPOLOGY_NAMES = ("dense", "sparse")
+
 
 @dataclass(frozen=True)
 class ScenarioConfig:
@@ -166,6 +169,15 @@ class ScenarioConfig:
     #: valid across the axis.  The DES backend has no round engine and
     #: rejects non-default values.
     engine: str = "object"
+    #: rounds-backend topology representation: "dense" (the (n, n)
+    #: distance matrix) or "sparse" (CSR adjacency — same unit-disk edge
+    #: rule over the same placement coordinates, buildable at 10^4-10^5
+    #: nodes where the dense matrix is not).  Hash-neutral at "dense";
+    #: "sparse" hashes separately because the two representations round
+    #: near-coincident pair distances differently (see
+    #: ``repro.graph.sparse._geometric_edges``).  The DES backend keeps
+    #: its own dense geometry and rejects non-default values.
+    topology: str = "dense"
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -184,6 +196,11 @@ class ScenarioConfig:
         if self.engine not in ENGINE_NAMES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINE_NAMES}"
+            )
+        if self.topology not in TOPOLOGY_NAMES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; expected one of "
+                f"{TOPOLOGY_NAMES}"
             )
         if self.density_ref_n < 0:
             raise ValueError("density_ref_n must be >= 0 (0 disables scaling)")

@@ -87,6 +87,10 @@ _HASH_NEUTRAL_DEFAULTS: Dict[str, object] = {
     # contract, so the axis never changes results — only "array" forks a
     # cell (useful to benchmark cache-cold, not to distinguish outputs)
     "engine": "object",
+    # topology representation (PR 8): hash-neutral at "dense"; "sparse"
+    # forks a cell because CSR edge discovery rounds near-coincident
+    # pair distances differently than the dense matrix identity
+    "topology": "dense",
 }
 
 

@@ -56,6 +56,83 @@ class _SparseDist:
         return math.inf
 
 
+def _geometric_edges(
+    pos: np.ndarray, radius: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unit-disk edge discovery over explicit coordinates.
+
+    Returns canonical (id-sorted) CSR arrays ``(indptr, nbr, dist)``.
+    Grid bucketing keeps it at O(n * expected degree): candidate pairs
+    come only from the 3x3 cell neighborhood of each node, never from
+    the full O(n^2) pair set.  The grid origin is the coordinate minimum
+    (bucketing only *proposes* pairs; the ``d <= radius`` test decides,
+    so the result is shift-invariant).
+
+    Distances are the direct ``sqrt(sum((a - b)^2))`` — numerically
+    *tighter* than the dense path's ``|x|^2 + |y|^2 - 2 x.y`` identity
+    (:func:`repro.util.geometry.pairwise_distances`), so the two
+    ``from_positions`` constructors agree to within one ulp per edge;
+    they are not guaranteed bit-identical (BLAS GEMM rounding depends
+    on the matrix shape, so the dense values cannot be reproduced from
+    gathered pairs).
+    """
+    n = len(pos)
+    rel = pos - pos.min(axis=0, keepdims=True)
+    cell = np.floor(rel / radius).astype(np.int64)
+    ncell = int(cell.max()) + 1 if n else 1
+    cid = cell[:, 0] * ncell + cell[:, 1]
+    order = np.argsort(cid, kind="stable")
+    sorted_cid = cid[order]
+    starts = np.searchsorted(sorted_cid, np.arange(ncell * ncell))
+    ends = np.searchsorted(sorted_cid, np.arange(ncell * ncell), side="right")
+
+    heads: List[np.ndarray] = []
+    tails: List[np.ndarray] = []
+    dists: List[np.ndarray] = []
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            a = cell[:, 0] + dx
+            b = cell[:, 1] + dy
+            ok = (a >= 0) & (a < ncell) & (b >= 0) & (b < ncell)
+            if not ok.any():
+                continue
+            vs = np.flatnonzero(ok)
+            nc = a[vs] * ncell + b[vs]
+            cnts = ends[nc] - starts[nc]
+            if int(cnts.sum()) == 0:
+                continue
+            reps = np.repeat(vs, cnts)
+            offs = np.repeat(starts[nc], cnts) + (
+                np.arange(int(cnts.sum()), dtype=np.int64)
+                - np.repeat(
+                    np.concatenate(([0], np.cumsum(cnts)[:-1])), cnts
+                )
+            )
+            us = order[offs]
+            keep = us != reps
+            reps, us = reps[keep], us[keep]
+            delta = pos[reps] - pos[us]
+            d2 = np.einsum("ij,ij->i", delta, delta)
+            d = np.sqrt(d2)
+            keep = d <= radius
+            heads.append(reps[keep])
+            tails.append(us[keep])
+            dists.append(d[keep])
+    if heads:
+        hv = np.concatenate(heads)
+        tv = np.concatenate(tails)
+        dv = np.concatenate(dists)
+    else:  # pragma: no cover - degenerate field
+        hv = tv = np.zeros(0, dtype=np.int64)
+        dv = np.zeros(0, dtype=np.float64)
+    o = np.lexsort((tv, hv))
+    hv, tv, dv = hv[o], tv[o], dv[o]
+    indptr = np.concatenate(
+        ([0], np.cumsum(np.bincount(hv, minlength=n)))
+    ).astype(np.int64)
+    return indptr, tv, dv
+
+
 class SparseTopology(Topology):
     """CSR-backed :class:`Topology` (same queries, no dense matrix)."""
 
@@ -134,60 +211,25 @@ class SparseTopology(Topology):
         """
         rng = np.random.default_rng(seed)
         pos = rng.uniform(0.0, side, size=(n, 2))
-        cell = np.floor(pos / radius).astype(np.int64)
-        ncell = int(math.floor(side / radius)) + 1
-        cid = cell[:, 0] * ncell + cell[:, 1]
-        order = np.argsort(cid, kind="stable")
-        sorted_cid = cid[order]
-        starts = np.searchsorted(sorted_cid, np.arange(ncell * ncell))
-        ends = np.searchsorted(sorted_cid, np.arange(ncell * ncell), side="right")
-
-        heads: List[np.ndarray] = []
-        tails: List[np.ndarray] = []
-        dists: List[np.ndarray] = []
-        r2 = radius * radius
-        for dx in (-1, 0, 1):
-            for dy in (-1, 0, 1):
-                a = cell[:, 0] + dx
-                b = cell[:, 1] + dy
-                ok = (a >= 0) & (a < ncell) & (b >= 0) & (b < ncell)
-                if not ok.any():
-                    continue
-                vs = np.flatnonzero(ok)
-                nc = a[vs] * ncell + b[vs]
-                cnts = ends[nc] - starts[nc]
-                if int(cnts.sum()) == 0:
-                    continue
-                reps = np.repeat(vs, cnts)
-                offs = np.repeat(starts[nc], cnts) + (
-                    np.arange(int(cnts.sum()), dtype=np.int64)
-                    - np.repeat(
-                        np.concatenate(([0], np.cumsum(cnts)[:-1])), cnts
-                    )
-                )
-                us = order[offs]
-                keep = us != reps
-                reps, us = reps[keep], us[keep]
-                delta = pos[reps] - pos[us]
-                d2 = np.einsum("ij,ij->i", delta, delta)
-                keep = d2 <= r2
-                heads.append(reps[keep])
-                tails.append(us[keep])
-                dists.append(np.sqrt(d2[keep]))
-        if heads:
-            hv = np.concatenate(heads)
-            tv = np.concatenate(tails)
-            dv = np.concatenate(dists)
-        else:  # pragma: no cover - degenerate field
-            hv = tv = np.zeros(0, dtype=np.int64)
-            dv = np.zeros(0, dtype=np.float64)
-        o = np.lexsort((tv, hv))
-        hv, tv, dv = hv[o], tv[o], dv[o]
-        indptr = np.concatenate(
-            ([0], np.cumsum(np.bincount(hv, minlength=n)))
-        ).astype(np.int64)
+        indptr, tv, dv = _geometric_edges(pos, radius)
         members = rng.choice(n, size=max(1, int(n * member_fraction)), replace=False)
         return cls(n, indptr, tv, dv, source, members)
+
+    @classmethod
+    def from_positions(
+        cls,
+        positions: np.ndarray,
+        max_range: float,
+        source: NodeId,
+        members: Iterable[NodeId],
+    ) -> "SparseTopology":
+        """Sparse counterpart of :meth:`Topology.from_positions`: the
+        same unit-disk edge rule (``d <= max_range``) over explicit
+        coordinates, stored as CSR instead of a dense matrix."""
+        pos = np.asarray(positions, dtype=np.float64)
+        n = len(pos)
+        indptr, nbr, nd = _geometric_edges(pos, float(max_range))
+        return cls(n, indptr, nbr, nd, source, members)
 
     # ------------------------------------------------------------------
     def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

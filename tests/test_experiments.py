@@ -131,6 +131,7 @@ class TestFigureRegistry:
         assert set(FIGURES) == {f"fig{n:02d}" for n in range(7, 17)} | {
             "figd01",
             "figd02",
+            "figd03",
             "figm01",
         }
 

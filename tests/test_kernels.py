@@ -1,0 +1,224 @@
+"""Kernel-layer selection and numpy-vs-numba bit-identity.
+
+``repro.core.kernels`` promises that ``REPRO_KERNEL=numba`` changes how
+fast the array engine runs and *nothing else*: every compiled kernel
+mirrors its numpy counterpart expression for expression.  The properties
+here pin that promise the same way the array engine pins its own
+contract against the object engine — full-trajectory equality on
+states/rounds/moves/evaluations, across every daemon and metric.
+
+The numba half of the matrix runs only where numba is importable (the CI
+kernels leg installs it); the selection/fallback machinery is testable
+everywhere by forcing the availability probe.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DAEMON_NAMES,
+    ArrayRoundEngine,
+    NodeState,
+    RoundEngine,
+    arbitrary_states,
+    fresh_states,
+    kernels,
+    metric_by_name,
+)
+from repro.core.examples import EXAMPLE_RADIO
+from repro.core.metrics import METRIC_NAMES
+
+from tests.test_array_engine import (
+    assert_same_trajectory,
+    random_connected_topology,
+)
+
+SETTINGS = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+MAX_ROUNDS = 150
+
+needs_numba = pytest.mark.skipif(
+    not kernels.numba_available(), reason="numba not installed"
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_selection():
+    """Leave the process-wide kernel selection as we found it."""
+    before_active = kernels._active
+    before_ok = kernels._numba_ok
+    yield
+    kernels._active = before_active
+    kernels._numba_ok = before_ok
+
+
+# ----------------------------------------------------------------------
+# Selection and fallback
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+        kernels._active = None
+        assert kernels.active_kernel() == "numpy"
+        assert not kernels.use_numba()
+
+    def test_env_var_is_read_once(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "numpy")
+        kernels._active = None
+        assert kernels.active_kernel() == "numpy"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            kernels.set_kernel("fortran")
+
+    def test_unknown_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "cuda")
+        kernels._active = None
+        with pytest.raises(ValueError, match="unknown kernel"):
+            kernels.active_kernel()
+
+    def test_numba_fallback_warns_and_resolves_numpy(self):
+        """Requesting numba without numba must not fail the run — same
+        command line, numpy kernels, one warning."""
+        kernels._numba_ok = False  # force "not importable"
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            resolved = kernels.set_kernel("numba")
+        assert resolved == "numpy"
+        assert kernels.active_kernel() == "numpy"
+
+    @needs_numba
+    def test_numba_selected_when_available(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no fallback warning expected
+            assert kernels.set_kernel("numba") == "numba"
+        assert kernels.use_numba()
+
+
+# ----------------------------------------------------------------------
+# The parity property: numba replays numpy exactly
+# ----------------------------------------------------------------------
+@needs_numba
+@settings(**SETTINGS)
+@given(seed=st.integers(0, 100_000), metric_name=st.sampled_from(METRIC_NAMES))
+@pytest.mark.parametrize("daemon", DAEMON_NAMES)
+def test_numba_bit_identical_any_daemon(daemon, metric_name, seed):
+    """Every daemon x every metric from arbitrary illegitimate states:
+    the JIT kernels and the numpy formulations produce the same
+    states/rounds/converged/cost_history/moves/evaluations."""
+    topo = random_connected_topology(seed)
+    m = metric_by_name(metric_name, EXAMPLE_RADIO)
+    init = arbitrary_states(topo, m, np.random.default_rng(seed + 1))
+
+    kernels.set_kernel("numpy")
+    res_np = ArrayRoundEngine(
+        topo, m, daemon=daemon, incremental=True,
+        rng=np.random.default_rng(9),
+    ).run(list(init), max_rounds=MAX_ROUNDS)
+
+    kernels.set_kernel("numba")
+    res_nb = ArrayRoundEngine(
+        topo, m, daemon=daemon, incremental=True,
+        rng=np.random.default_rng(9),
+    ).run(list(init), max_rounds=MAX_ROUNDS)
+
+    assert_same_trajectory(res_np, res_nb)
+
+
+@needs_numba
+def test_numba_bit_identical_moderate_scale():
+    """One moderate sparse workload per metric under the synchronous
+    daemon — large enough that every batched stage (commit, incremental
+    snapshot, pair pricing, fold) actually runs under both kernels."""
+    from repro.graph import SparseTopology
+
+    sp = SparseTopology.random_geometric(400, side=600.0, radius=80.0, seed=2)
+    daemon = "distributed"  # converges for E where sync may limit-cycle
+    for name in METRIC_NAMES:
+        m = metric_by_name(name, EXAMPLE_RADIO)
+        runs = []
+        for kernel in ("numpy", "numba"):
+            kernels.set_kernel(kernel)
+            runs.append(
+                ArrayRoundEngine(
+                    topo=sp, metric=m, daemon=daemon, incremental=True,
+                    rng=np.random.default_rng(4), k=40,
+                ).run(fresh_states(sp, m), max_rounds=400)
+            )
+        assert_same_trajectory(*runs)
+
+
+@needs_numba
+def test_count_within_kernel_matches_numpy():
+    """Micro-parity for the in-range counting kernel: same counts as the
+    numpy searchsorted formulation for every node and mixed radii."""
+    from repro.core.array_engine import EdgeCsr
+
+    topo = random_connected_topology(21, n_min=10, n_max=16)
+    m = metric_by_name("energy", EXAMPLE_RADIO)
+    csr = EdgeCsr(topo, m)
+    rng = np.random.default_rng(1)
+    U = rng.integers(0, topo.n, size=128).astype(np.int64)
+    radii = np.ascontiguousarray(rng.uniform(0.0, 500.0, size=128))
+    kernel = kernels.get("count_within")
+    got = kernel(csr.indptr, csr.sdist, np.ascontiguousarray(U), radii)
+    kernels.set_kernel("numpy")
+    want = csr.count_within(U, radii)
+    assert got.tolist() == want.tolist()
+
+
+# ----------------------------------------------------------------------
+# Scalar fallback: the energy batch gate
+# ----------------------------------------------------------------------
+class TestScalarFallback:
+    """SS-SPST-E's batched evaluator refuses states its snapshot cannot
+    price (parent cycles anywhere, a rooted source) and falls back to
+    the scalar per-node path; the fallback must engage *and* stay
+    bit-identical to the object engine."""
+
+    def _run_pair(self, topo, m, init):
+        obj = RoundEngine(
+            topo, m, daemon="central", incremental=True,
+            rng=np.random.default_rng(9),
+        ).run(list(init), max_rounds=MAX_ROUNDS)
+        arr_eng = ArrayRoundEngine(
+            topo, m, daemon="central", incremental=True,
+            rng=np.random.default_rng(9),
+        )
+        arr = arr_eng.run(list(init), max_rounds=MAX_ROUNDS)
+        assert_same_trajectory(obj, arr)
+        return arr_eng
+
+    def test_parent_cycle_start(self):
+        topo = random_connected_topology(31, n_min=8, n_max=12)
+        m = metric_by_name("energy", EXAMPLE_RADIO)
+        init = list(fresh_states(topo, m))
+        # a 2-cycle between two adjacent non-source nodes
+        v = next(
+            u for u in range(topo.n)
+            if u != topo.source
+            and any(w != topo.source for w in topo.neighbors(u))
+        )
+        w = next(u for u in topo.neighbors(v) if u != topo.source)
+        init[v] = NodeState(parent=w, cost=1.0, hop=1)
+        init[w] = NodeState(parent=v, cost=1.0, hop=1)
+        eng = self._run_pair(topo, m, init)
+        assert eng.profile["scalar_steps"] > 0
+
+    def test_rooted_source_start(self):
+        topo = random_connected_topology(32, n_min=8, n_max=12)
+        m = metric_by_name("energy", EXAMPLE_RADIO)
+        init = list(fresh_states(topo, m))
+        src = topo.source
+        init[src] = NodeState(
+            parent=topo.neighbors(src)[0], cost=2.5, hop=3
+        )
+        eng = self._run_pair(topo, m, init)
+        assert eng.profile["scalar_steps"] > 0
