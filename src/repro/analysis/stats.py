@@ -39,7 +39,7 @@ def t_quantile(confidence: float, df: int) -> float:
         from scipy import stats as sstats
 
         return float(sstats.t.ppf(0.5 + confidence / 2.0, df=df))
-    except Exception:  # pragma: no cover - scipy is a hard dep, but be safe
+    except ImportError:  # pragma: no cover - scipy is a hard dep, but be safe
         return 2.0
 
 

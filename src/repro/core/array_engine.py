@@ -64,7 +64,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import List, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -260,14 +260,14 @@ class ColumnarView(GlobalView):
     # -- lazily rematerialized object mirrors --------------------------
 
     @property
-    def _children(self):
+    def _children(self) -> Dict[int, List[int]]:
         kids = self._children_obj
         if kids is None:
             kids = self._children_obj = derive_children(self.states)
         return kids
 
     @_children.setter
-    def _children(self, value) -> None:
+    def _children(self, value: Optional[Dict[int, List[int]]]) -> None:
         self._children_obj = value
 
     @property
@@ -312,7 +312,7 @@ class ColumnarView(GlobalView):
         return cycles
 
     @property
-    def _flags(self):
+    def _flags(self) -> np.ndarray:
         """Member flags as a numpy bool column (base class stores lists).
 
         Same lazy-materialization contract as the base property; the
@@ -352,7 +352,7 @@ class ColumnarView(GlobalView):
             self.pe_etx_raw[v] = math.inf
             self.pe_etx_edge[v] = 0.0
 
-    def apply(self, v: int, new_state: NodeState):
+    def apply(self, v: int, new_state: NodeState) -> Optional[Tuple[int, ...]]:
         old = self.states[v]
         if new_state == old:
             return ()  # no-op: nothing changed, caches stay valid
@@ -521,7 +521,7 @@ def _top2(
     par: np.ndarray,
     dist: np.ndarray,
     etxv: np.ndarray,
-):
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Per-parent top-2 child distances (+ matching transmit energies).
 
     Excluding one child from a radius scan needs at most the runner-up:
@@ -568,7 +568,7 @@ class ArrayRoundEngine(RoundEngine):
         incremental: bool = False,
         rng: Optional[np.random.Generator] = None,
         legacy_apply: bool = False,
-        **daemon_options,
+        **daemon_options: object,
     ) -> None:
         super().__init__(
             topo,
@@ -618,7 +618,15 @@ class ArrayRoundEngine(RoundEngine):
     # Commit path
     # ------------------------------------------------------------------
     def _commit_step(
-        self, view, step_idx, todo, olds, news, dirty, next_dirty, pos
+        self,
+        view: GlobalView,
+        step_idx: int,
+        todo: Sequence[int],
+        olds: Sequence[NodeState],
+        news: Sequence[NodeState],
+        dirty: Optional[Set[int]],
+        next_dirty: Optional[Set[int]],
+        pos: Dict[int, int],
     ) -> int:
         t0 = time.perf_counter()
         try:
@@ -638,7 +646,14 @@ class ArrayRoundEngine(RoundEngine):
             self.profile["commit_s"] += time.perf_counter() - t0
 
     def _commit_batch(
-        self, view: ColumnarView, step_idx, todo, news, dirty, next_dirty, pos
+        self,
+        view: "ColumnarView",
+        step_idx: int,
+        todo: Sequence[int],
+        news: Sequence[NodeState],
+        dirty: Optional[Set[int]],
+        next_dirty: Optional[Set[int]],
+        pos: Dict[int, int],
     ) -> int:
         """Batched :meth:`RoundEngine._commit_step` for the locally-
         coupled metrics: the tolerant move test, the silent-rewrite
@@ -695,7 +710,7 @@ class ArrayRoundEngine(RoundEngine):
                     next_dirty.add(w)
         return n_moves
 
-    def _close_over(self, seeds: np.ndarray):
+    def _close_over(self, seeds: np.ndarray) -> Sequence[int]:
         """``_affected``'s dependency-radius closure around already-
         unioned seeds, as CSR frontier expansions."""
         radius = self.metric.dependency_radius
@@ -1231,7 +1246,16 @@ class ArrayRoundEngine(RoundEngine):
 
     # ------------------------------------------------------------------
     def _pair_costs(
-        self, view, kind, Vrow, row_pair, V_pair, U_pair, D_pair, offs, valid
+        self,
+        view: "ColumnarView",
+        kind: str,
+        Vrow: np.ndarray,
+        row_pair: np.ndarray,
+        V_pair: np.ndarray,
+        U_pair: np.ndarray,
+        D_pair: np.ndarray,
+        offs: np.ndarray,
+        valid: np.ndarray,
     ) -> np.ndarray:
         metric, csr = self.metric, self.csr
         if kind == "hop":
@@ -1320,9 +1344,19 @@ class ArrayRoundEngine(RoundEngine):
 
     # ------------------------------------------------------------------
     def _fold(
-        self, n_rows, row_pair, slot, valid,
-        eff, oc, inc_pair, hopU, D_pair, U_pair, counts,
-    ):
+        self,
+        n_rows: int,
+        row_pair: np.ndarray,
+        slot: np.ndarray,
+        valid: np.ndarray,
+        eff: np.ndarray,
+        oc: np.ndarray,
+        inc_pair: np.ndarray,
+        hopU: np.ndarray,
+        D_pair: np.ndarray,
+        U_pair: np.ndarray,
+        counts: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """The sequential candidate fold of ``compute_update_local`` —
         numba: one compiled row-major loop; numpy: one masked pass per
         candidate slot in neighbor order."""

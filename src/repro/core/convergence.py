@@ -47,7 +47,7 @@ def engine_for(
     incremental: bool = True,
     engine: str = "object",
     rng: Optional[np.random.Generator] = None,
-    **daemon_options,
+    **daemon_options: object,
 ) -> RoundEngine:
     """Accept either an engine or a daemon name.
 

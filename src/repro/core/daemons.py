@@ -44,7 +44,7 @@ Provided daemons:
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, Iterator, Optional, Tuple, Type
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Type
 
 import numpy as np
 
@@ -114,7 +114,13 @@ class RoundContext:
     __slots__ = ("engine", "view", "round_no", "n", "evaluations", "_dirty",
                  "_cap", "_probe_cache", "probed_clean")
 
-    def __init__(self, engine, view, dirty, round_no: int) -> None:
+    def __init__(
+        self,
+        engine: object,
+        view: object,
+        dirty: Optional[Set[NodeId]],
+        round_no: int,
+    ) -> None:
         self.engine = engine
         self.view = view
         self.round_no = round_no
@@ -133,11 +139,11 @@ class RoundContext:
             return range(self.n)
         return sorted(self._dirty)
 
-    def current(self, v: NodeId):
+    def current(self, v: NodeId) -> object:
         """v's current state."""
         return self.view.states[v]
 
-    def probe(self, v: NodeId):
+    def probe(self, v: NodeId) -> object:
         """The state the update rule assigns to ``v`` right now."""
         ns = self._probe_cache.get(v)
         if ns is None:
@@ -350,7 +356,7 @@ _NEEDS_RNG = {RandomizedDaemon.name, DistributedDaemon.name, WeaklyFairDaemon.na
 
 
 def daemon_by_name(
-    name: str, rng: Optional[np.random.Generator] = None, **kwargs
+    name: str, rng: Optional[np.random.Generator] = None, **kwargs: object
 ) -> Daemon:
     """Instantiate a daemon by registry name.
 

@@ -11,7 +11,7 @@ the adaptivity the paper argues for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,7 +87,7 @@ class FaultRunResult:
 
 def run_with_faults(
     topo: Topology,
-    executor_factory,
+    executor_factory: Callable[..., object],
     initial: StateVector,
     faults: Sequence[object],
     max_rounds_each: int = 200,

@@ -39,7 +39,7 @@ keep working; new code should say
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -165,7 +165,7 @@ class RoundEngine:
         *,
         incremental: bool = False,
         rng: Optional[np.random.Generator] = None,
-        **daemon_options,
+        **daemon_options: object,
     ) -> None:
         self.topo = topo
         self.metric = metric
@@ -376,7 +376,7 @@ class RoundEngine:
         news: Sequence[NodeState],
         dirty: Optional[Set[int]],
         next_dirty: Optional[Set[int]],
-        pos,
+        pos: Dict[int, int],
     ) -> int:
         """Apply one activation step's evaluated updates; returns the
         number of genuine moves.
@@ -444,7 +444,12 @@ class RoundEngine:
         return n_moves, ctx.evaluations, dirty
 
     # ------------------------------------------------------------------
-    def _affected(self, view: GlobalView, changes, reports=None) -> Set[int]:
+    def _affected(
+        self,
+        view: GlobalView,
+        changes: Iterable[Tuple[int, NodeState, NodeState]],
+        reports: Optional[Sequence[object]] = None,
+    ) -> Set[int]:
         """Nodes whose next update may differ after the given changes.
 
         ``changes`` is an iterable of ``(v, old_state, new_state)``;

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 from bisect import bisect_left, insort
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Container, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.state import NodeState, derive_children, derive_flags
 from repro.graph.topology import Topology
@@ -70,7 +70,9 @@ class NodeView(abc.ABC):
         current parent (v's subtree no longer contributes flags)."""
 
     @abc.abstractmethod
-    def path_price(self, u: NodeId, v: NodeId, v_flag: bool, metric) -> float:
+    def path_price(
+        self, u: NodeId, v: NodeId, v_flag: bool, metric: object
+    ) -> float:
         """Price of candidate parent ``u``'s path, seen by joiner ``v``.
 
         Evaluated in the world where ``v`` is detached from its current
@@ -362,7 +364,7 @@ class GlobalView(NodeView):
         parent cycles (the visited set bounds the walk).
         """
         out: Set[NodeId] = set(roots)
-        stack = list(out)
+        stack = sorted(out)
         children = self._children
         while stack:
             w = stack.pop()
@@ -476,7 +478,11 @@ class GlobalView(NodeView):
         return True
 
     def _radius_excluding(
-        self, u: NodeId, exclude, flags: Sequence[bool], flagged_only: bool
+        self,
+        u: NodeId,
+        exclude: Container[NodeId],
+        flags: Sequence[bool],
+        flagged_only: bool,
     ) -> float:
         radius = 0.0
         for c in self._children[u]:
@@ -489,7 +495,9 @@ class GlobalView(NodeView):
                 radius = d
         return radius
 
-    def path_price(self, u: NodeId, v: NodeId, v_flag: bool, metric) -> float:
+    def path_price(
+        self, u: NodeId, v: NodeId, v_flag: bool, metric: object
+    ) -> float:
         """Exact iterative chain walk in the v-detached world (ABC docstring).
 
         The price is the *marginal* global cost of lighting up ``u``'s

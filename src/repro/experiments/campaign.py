@@ -1069,6 +1069,17 @@ def _main_flat(argv: Sequence[str]) -> int:
             f"x {len(spec.seeds)} seeds"
         )
         print(f"# backend(s): {','.join(spec.backends())}")
+        # The cache-identity contract, from the same table the linter
+        # reads (rules H2xx): which fields key the result store, and
+        # which are hash-neutral while left at their default.
+        from repro.experiments.store import hash_participation
+
+        hashed, neutral = hash_participation()
+        print(f"# hash-participating fields ({len(hashed)}): {', '.join(hashed)}")
+        print(
+            f"# hash-neutral at default ({len(neutral)}): "
+            + ", ".join(f"{k}={neutral[k]!r}" for k in sorted(neutral))
+        )
         for line in plan_lines(configs):
             print(line)
         if shard is not None:

@@ -33,7 +33,7 @@ import json
 import os
 import sqlite3
 import time
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.experiments.config import ScenarioConfig
 
@@ -65,6 +65,40 @@ STALE_TMP_S = 3600.0
 # ----------------------------------------------------------------------
 # Config identity
 # ----------------------------------------------------------------------
+#: the always-hashed ScenarioConfig fields — the paper's original
+#: scenario surface, hashed since the first cache existed.  Together
+#: with ``_HASH_NEUTRAL_DEFAULTS`` below this is the machine-readable
+#: hash contract: every dataclass field must appear in exactly one of
+#: the two tables.  ``repro.lint`` enforces that statically (rules
+#: H201-H203), :func:`hash_participation` enforces it at runtime (the
+#: campaign ``--dry-run`` prints the same view), so the static and
+#: runtime pictures of "what forks a cache cell" can never drift.
+CORE_HASH_FIELDS: Tuple[str, ...] = (
+    "protocol",
+    "n_nodes",
+    "arena_w",
+    "arena_h",
+    "v_min",
+    "v_max",
+    "pause_time",
+    "group_size",
+    "max_range",
+    "e_elec",
+    "e_rx",
+    "eps_amp",
+    "alpha",
+    "bitrate_bps",
+    "loss_prob",
+    "capture_threshold",
+    "beacon_interval",
+    "rate_kbps",
+    "packet_bytes",
+    "traffic_start",
+    "sim_time",
+    "availability_probe_interval",
+    "seed",
+)
+
 #: fields added to ScenarioConfig *after* caches existed in the wild,
 #: mapped to the behavior-neutral default they were introduced with.  At
 #: that default the field is dropped from the hash payload (and patched
@@ -92,6 +126,30 @@ _HASH_NEUTRAL_DEFAULTS: Dict[str, object] = {
     # pair distances differently than the dense matrix identity
     "topology": "dense",
 }
+
+
+def hash_participation() -> Tuple[Tuple[str, ...], Dict[str, object]]:
+    """The hash contract as ``(hashed fields, neutral field -> default)``.
+
+    Derived from the dataclass itself and cross-checked against the
+    literal :data:`CORE_HASH_FIELDS` table — the same table
+    ``repro.lint`` reads statically — raising ``RuntimeError`` on any
+    drift, so a runtime consumer (the campaign ``--dry-run`` plan) can
+    never show a different participation picture than the linter.
+    """
+    field_names = tuple(f.name for f in dataclasses.fields(ScenarioConfig))
+    hashed = tuple(
+        name for name in field_names if name not in _HASH_NEUTRAL_DEFAULTS
+    )
+    if set(hashed) != set(CORE_HASH_FIELDS) or any(
+        name not in field_names for name in _HASH_NEUTRAL_DEFAULTS
+    ):
+        raise RuntimeError(
+            "hash contract drift: CORE_HASH_FIELDS/_HASH_NEUTRAL_DEFAULTS "
+            "do not partition the ScenarioConfig fields — run "
+            "`python -m repro.lint src/repro` for the field-level report"
+        )
+    return hashed, dict(_HASH_NEUTRAL_DEFAULTS)
 
 
 def _hash_payload(config: ScenarioConfig) -> Dict[str, object]:
@@ -142,7 +200,7 @@ def shard_of(config: ScenarioConfig, n_shards: int) -> int:
 # ----------------------------------------------------------------------
 # Persistent per-run records
 # ----------------------------------------------------------------------
-def record_from_result(result, elapsed_s: float = 0.0) -> dict:
+def record_from_result(result: object, elapsed_s: float = 0.0) -> dict:
     """JSON-safe record of one finished run (any backend)."""
     from repro.experiments.backends import backend_by_name
 
@@ -150,7 +208,7 @@ def record_from_result(result, elapsed_s: float = 0.0) -> dict:
     return backend.record_from(result, elapsed_s=elapsed_s)
 
 
-def result_from_record(record: dict):
+def result_from_record(record: dict) -> object:
     """Rebuild the result a record was made from (any backend, any era).
 
     Dispatches on the record's ``backend`` key (absent in v1 records,
@@ -263,7 +321,7 @@ class ResultStore(abc.ABC):
     def __enter__(self) -> "ResultStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- scheduler side channels --------------------------------------
@@ -694,7 +752,7 @@ def migrate_json_dir(
     src_root: str,
     dest: Union[str, ResultStore],
     batch_size: int = 256,
-    progress=None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> Tuple[int, int]:
     """Ingest a v1/v2 ``<hash>.json`` cache dir into another store.
 

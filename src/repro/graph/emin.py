@@ -15,7 +15,7 @@ validation we provide:
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, TYPE_CHECKING, Tuple
+from typing import Iterable, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.graph.topology import Topology
 
@@ -25,7 +25,9 @@ from repro.graph.tree import TreeAssignment
 from repro.util.ids import NodeId
 
 
-def _rooted_parents(topo: Topology, tree_edges) -> List[Optional[NodeId]]:
+def _rooted_parents(
+    topo: Topology, tree_edges: Iterable[Tuple[NodeId, NodeId]]
+) -> List[Optional[NodeId]]:
     """Orient an undirected spanning tree away from the source."""
     adj = {v: [] for v in range(topo.n)}
     for u, v in tree_edges:

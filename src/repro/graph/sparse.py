@@ -40,12 +40,12 @@ class _SparseDist:
 
     __slots__ = ("_indptr", "_nbr", "_dist")
 
-    def __init__(self, indptr: np.ndarray, nbr: np.ndarray, dist: np.ndarray):
+    def __init__(self, indptr: np.ndarray, nbr: np.ndarray, dist: np.ndarray) -> None:
         self._indptr = indptr
         self._nbr = nbr
         self._dist = dist
 
-    def __getitem__(self, key) -> float:
+    def __getitem__(self, key: Tuple[int, int]) -> float:
         u, v = key
         if u == v:
             return 0.0
@@ -264,7 +264,7 @@ class SparseTopology(Topology):
             np.searchsorted(self._sdist[i0:i1], radius + 1e-12, side="right")
         )
 
-    def to_networkx(self):
+    def to_networkx(self) -> "object":
         import networkx as nx
 
         g = nx.Graph()

@@ -171,7 +171,7 @@ class Topology:
             frontier = nxt
         return hops
 
-    def to_networkx(self):
+    def to_networkx(self) -> "object":
         """Export as a :mod:`networkx` graph (distances as 'weight')."""
         import networkx as nx
 

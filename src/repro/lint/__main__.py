@@ -1,0 +1,9 @@
+"""Entry point: ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,249 @@
+"""Shared infrastructure of the contract-aware linter.
+
+The linter is **purely static**: it parses the tree it is pointed at
+with :mod:`ast` and never imports the code under analysis, so it runs
+identically on the live ``src/repro`` package, on the fixture corpora
+under ``tests/fixtures/lint``, and in CI before any dependency beyond
+the standard library is installed.
+
+Three objects make up the plumbing:
+
+* :class:`Finding` — one diagnostic, addressed by ``(rule, path, line)``
+  with a human message.  Findings are stable under unrelated edits to
+  the same file (the baseline matches on rule + path + message, not the
+  line number).
+* :class:`Project` — the tree under analysis: the *package root* (the
+  directory passed on the command line, e.g. ``src/repro``) plus the
+  *repo root* it lives in (found by walking up to the first directory
+  holding ``README.md`` or ``tests/``), which is where the registry
+  checkers look for docs and tests.
+* :class:`Baseline` — the committed suppression file
+  (``lint-baseline.json``): findings recorded there are reported as
+  baselined and do not fail the run, so a rule can be introduced before
+  the last legacy violation is burned down.
+
+Inline suppressions use ``# lint: ignore[RULE]`` (comma-separated rule
+ids, each optionally a prefix such as ``D1``) on the flagged line; a
+justification after the bracket is encouraged and kept in the source.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "Source",
+    "Project",
+    "Baseline",
+    "rule_enabled",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule id, a repo-relative path, a line, a message."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Baseline identity: line numbers drift, messages rarely do."""
+        return (self.rule, self.path, self.message)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Za-z0-9,\s]+)\]")
+
+
+class Source:
+    """One parsed python file plus its inline-suppression table."""
+
+    def __init__(self, path: Path, rel: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = path.read_text(encoding="utf-8")
+        self.tree: Optional[ast.AST] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(self.text, filename=str(path))
+        except SyntaxError as exc:
+            self.parse_error = exc
+        #: physical line -> rule-id prefixes suppressed on that line
+        self.suppressions: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(self.text.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+                self.suppressions[lineno] = rules
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        if not rules:
+            return False
+        return any(rule.startswith(prefix) for prefix in rules)
+
+
+def _walk_python(root: Path) -> Iterator[Path]:
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+class Project:
+    """The tree under analysis and the repo context around it."""
+
+    def __init__(
+        self, package_root: Path, repo_root: Optional[Path] = None
+    ) -> None:
+        self.package_root = package_root.resolve()
+        if not self.package_root.is_dir():
+            raise NotADirectoryError(str(package_root))
+        self.repo_root = (
+            repo_root.resolve() if repo_root else self._find_repo_root()
+        )
+        self._sources: Optional[List[Source]] = None
+
+    def _find_repo_root(self) -> Path:
+        probe = self.package_root
+        for candidate in (probe, *probe.parents):
+            if (candidate / "README.md").exists() or (
+                candidate / "tests"
+            ).is_dir():
+                return candidate
+        return self.package_root
+
+    # -- package sources ----------------------------------------------
+    def rel(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.repo_root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def sources(self) -> List[Source]:
+        if self._sources is None:
+            self._sources = [
+                Source(path, self.rel(path))
+                for path in _walk_python(self.package_root)
+            ]
+        return self._sources
+
+    def source(self, rel_to_package: str) -> Optional[Source]:
+        """The parsed source at ``<package_root>/<rel_to_package>``."""
+        target = (self.package_root / rel_to_package).resolve()
+        for src in self.sources():
+            if src.path == target:
+                return src
+        return None
+
+    # -- repo-level corpora (docs, tests) ------------------------------
+    def doc_text(self) -> str:
+        """README + every markdown file under docs/, lower-cased."""
+        chunks: List[str] = []
+        readme = self.repo_root / "README.md"
+        if readme.exists():
+            chunks.append(readme.read_text(encoding="utf-8"))
+        docs = self.repo_root / "docs"
+        if docs.is_dir():
+            for path in sorted(docs.rglob("*.md")):
+                chunks.append(path.read_text(encoding="utf-8"))
+        return "\n".join(chunks).lower()
+
+    def test_text(self) -> str:
+        """Concatenated source of every test file under repo tests/.
+
+        ``tests/fixtures/`` is excluded: fixture corpora (including the
+        linter's own good/bad trees) are *data*, and a quoted name
+        inside one must not count as a test reference for the live
+        package.
+        """
+        tests = self.repo_root / "tests"
+        if not tests.is_dir():
+            return ""
+        chunks: List[str] = []
+        for path in _walk_python(tests):
+            resolved = path.resolve()
+            if self.package_root in resolved.parents:
+                continue
+            if resolved.relative_to(tests.resolve()).parts[0] == "fixtures":
+                continue
+            chunks.append(path.read_text(encoding="utf-8"))
+        return "\n".join(chunks)
+
+
+class Baseline:
+    """The committed suppression file: known findings that do not fail."""
+
+    def __init__(self, entries: Sequence[Finding] = ()) -> None:
+        self._index: Set[Tuple[str, str, str]] = {
+            f.fingerprint() for f in entries
+        }
+        self.entries = list(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        text = path.read_text(encoding="utf-8").strip()
+        if not text:
+            return cls()
+        raw = json.loads(text)
+        entries = [
+            Finding(
+                rule=e["rule"],
+                path=e["path"],
+                line=int(e.get("line", 0)),
+                message=e["message"],
+            )
+            for e in raw.get("findings", [])
+        ]
+        return cls(entries)
+
+    @staticmethod
+    def dump(path: Path, findings: Sequence[Finding]) -> None:
+        payload = {
+            "comment": (
+                "repro.lint baseline: known findings that are suppressed, "
+                "with their justification reviewed at commit time.  Keep "
+                "this empty unless a finding is genuinely unfixable."
+            ),
+            "findings": [f.to_json() for f in findings],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self._index
+
+
+def rule_enabled(
+    rule: str,
+    select: Optional[Sequence[str]],
+    ignore: Optional[Sequence[str]],
+) -> bool:
+    """Prefix-based rule filtering (``--select D,H2`` / ``--ignore D104``)."""
+    if select and not any(rule.startswith(p) for p in select):
+        return False
+    if ignore and any(rule.startswith(p) for p in ignore):
+        return False
+    return True

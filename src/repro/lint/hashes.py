@@ -1,0 +1,296 @@
+"""Hash-participation rules (H2xx): every config field must be accounted for.
+
+The campaign cache addresses runs by a content hash of
+:class:`~repro.experiments.config.ScenarioConfig`
+(``experiments/store.py``).  A field that joins the dataclass without
+joining the hash contract corrupts the cache in one of two silent ways:
+
+* if it lands in the hash payload unintentionally, **every** existing
+  cache entry re-keys (a cold cache nobody asked for);
+* if it is meant to be hash-neutral but the neutral table's declared
+  default drifts from the dataclass default, the "neutral" value forks
+  cells anyway — the exact failure mode PRs 5-8 each had to dodge by
+  hand.
+
+These rules cross-check the dataclass against the two machine-readable
+contract tables in ``experiments/store.py``:
+
+``CORE_HASH_FIELDS``
+    the always-hashed fields (the paper's original scenario surface);
+``_HASH_NEUTRAL_DEFAULTS``
+    later-added fields that drop out of the payload at their
+    introduction default.
+
+Rules:
+
+* ``H201`` — a ``ScenarioConfig`` field is neither in
+  ``CORE_HASH_FIELDS`` nor registered hash-neutral;
+* ``H202`` — a neutral field's declared default differs from the
+  dataclass default;
+* ``H203`` — a contract entry names a field that no longer exists
+  (stale contract);
+* ``H204`` — an ``SSSPSTConfig`` protocol knob is missing from (or
+  stale in) its ``CAMPAIGN_BINDINGS`` contract, or binds to a
+  nonexistent ``ScenarioConfig`` field.  Every protocol knob must be
+  either driven by a hashed config field (``config:<field>``), derived
+  from one (``derived:<field>``), or declared ``fixed`` — otherwise a
+  behavior change can hide outside the cache key.
+
+The checker is AST-only (literal tables, ``ast.literal_eval``); it
+engages whenever the linted tree contains ``experiments/config.py`` and
+``experiments/store.py``, so the fixture corpora exercise it exactly
+like the live tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.base import Finding, Project
+
+__all__ = ["check_hash_participation"]
+
+_BINDING_RE = re.compile(r"^(config:[A-Za-z_][A-Za-z0-9_]*|derived:[A-Za-z_][A-Za-z0-9_]*|fixed)$")
+
+
+def _class_fields(
+    tree: ast.AST, class_name: str
+) -> Optional[Dict[str, Tuple[int, Optional[object], bool]]]:
+    """``field -> (line, literal default or None, has_literal)`` of the
+    annotated dataclass fields of ``class_name`` (UPPERCASE class-level
+    constants are skipped: they are class vars, not fields)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields: Dict[str, Tuple[int, Optional[object], bool]] = {}
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                if not isinstance(stmt.target, ast.Name):
+                    continue
+                name = stmt.target.id
+                if name.isupper():
+                    continue
+                annotation = ast.unparse(stmt.annotation)
+                if "ClassVar" in annotation:
+                    continue
+                default: Optional[object] = None
+                has_literal = False
+                if stmt.value is not None:
+                    try:
+                        default = ast.literal_eval(stmt.value)
+                        has_literal = True
+                    except (ValueError, TypeError, SyntaxError):
+                        pass
+                fields[name] = (stmt.lineno, default, has_literal)
+            return fields
+    return None
+
+
+def _module_literal(
+    tree: ast.AST, symbol: str
+) -> Tuple[Optional[object], int]:
+    """The literal value of a module-level assignment, plus its line."""
+    for node in ast.walk(tree):
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            continue
+        if isinstance(target, ast.Name) and target.id == symbol:
+            try:
+                return ast.literal_eval(value), node.lineno
+            except (ValueError, TypeError, SyntaxError):
+                return None, node.lineno
+    return None, 0
+
+
+def check_hash_participation(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    config_src = project.source("experiments/config.py")
+    store_src = project.source("experiments/store.py")
+    if config_src is None or store_src is None:
+        return findings
+    if config_src.parse_error or store_src.parse_error:
+        return findings  # E901 is emitted by the determinism pass
+
+    assert config_src.tree is not None and store_src.tree is not None
+    fields = _class_fields(config_src.tree, "ScenarioConfig")
+    if fields is None:
+        findings.append(
+            Finding(
+                "H203",
+                config_src.rel,
+                1,
+                "ScenarioConfig dataclass not found",
+            )
+        )
+        return findings
+
+    core, core_line = _module_literal(store_src.tree, "CORE_HASH_FIELDS")
+    neutral, neutral_line = _module_literal(
+        store_src.tree, "_HASH_NEUTRAL_DEFAULTS"
+    )
+    if not isinstance(core, (tuple, list)):
+        findings.append(
+            Finding(
+                "H203",
+                store_src.rel,
+                core_line or 1,
+                "CORE_HASH_FIELDS literal tuple not found in store.py "
+                "(the hash contract the linter and --dry-run consume)",
+            )
+        )
+        core = ()
+    if not isinstance(neutral, dict):
+        findings.append(
+            Finding(
+                "H203",
+                store_src.rel,
+                neutral_line or 1,
+                "_HASH_NEUTRAL_DEFAULTS literal dict not found in store.py",
+            )
+        )
+        neutral = {}
+
+    core_set = {str(name) for name in core}
+    # H201: every field is either always-hashed or registered neutral
+    for name, (line, _default, _has) in fields.items():
+        if name not in core_set and name not in neutral:
+            findings.append(
+                Finding(
+                    "H201",
+                    config_src.rel,
+                    line,
+                    f"ScenarioConfig.{name} is neither in CORE_HASH_FIELDS "
+                    "nor registered in _HASH_NEUTRAL_DEFAULTS: adding it "
+                    "silently re-keys every cached run",
+                )
+            )
+    # H202: declared neutral default must equal the dataclass default
+    for name, declared in neutral.items():
+        if name not in fields:
+            continue  # H203 below
+        line, default, has_literal = fields[name]
+        if has_literal and _canon(default) != _canon(declared):
+            findings.append(
+                Finding(
+                    "H202",
+                    store_src.rel,
+                    neutral_line,
+                    f"hash-neutral default for {name!r} is {declared!r} but "
+                    f"the dataclass default is {default!r}: the default "
+                    "config would fork its own cache cell",
+                )
+            )
+    # H203: stale contract entries
+    for name in sorted(core_set | set(neutral)):
+        if name not in fields:
+            where = store_src.rel
+            line = core_line if name in core_set else neutral_line
+            findings.append(
+                Finding(
+                    "H203",
+                    where,
+                    line,
+                    f"hash contract names {name!r} which is not a "
+                    "ScenarioConfig field (stale contract entry)",
+                )
+            )
+    # overlap is a contract bug too: a field cannot be both
+    for name in sorted(core_set & set(neutral)):
+        findings.append(
+            Finding(
+                "H203",
+                store_src.rel,
+                core_line,
+                f"{name!r} appears in both CORE_HASH_FIELDS and "
+                "_HASH_NEUTRAL_DEFAULTS",
+            )
+        )
+
+    findings.extend(_check_protocol_bindings(project, set(fields)))
+    return findings
+
+
+def _canon(value: object) -> object:
+    """Tuple/list insensitivity (literal tables round-trip as either)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_canon(v) for v in value)
+    return value
+
+
+def _check_protocol_bindings(
+    project: Project, config_fields: set
+) -> List[Finding]:
+    findings: List[Finding] = []
+    ss_src = project.source("protocols/ss_spst.py")
+    if ss_src is None or ss_src.parse_error:
+        return findings
+    assert ss_src.tree is not None
+    fields = _class_fields(ss_src.tree, "SSSPSTConfig")
+    if fields is None:
+        return findings
+    bindings, bind_line = _module_literal(ss_src.tree, "CAMPAIGN_BINDINGS")
+    if not isinstance(bindings, dict):
+        findings.append(
+            Finding(
+                "H204",
+                ss_src.rel,
+                bind_line or 1,
+                "CAMPAIGN_BINDINGS literal dict not found: every "
+                "SSSPSTConfig knob must declare how campaigns reach it",
+            )
+        )
+        return findings
+    for name, (line, _default, _has) in fields.items():
+        if name not in bindings:
+            findings.append(
+                Finding(
+                    "H204",
+                    ss_src.rel,
+                    line,
+                    f"SSSPSTConfig.{name} has no CAMPAIGN_BINDINGS entry: "
+                    "a knob outside the contract can change behavior "
+                    "without forking the cache key",
+                )
+            )
+    for name, binding in bindings.items():
+        if name not in fields:
+            findings.append(
+                Finding(
+                    "H204",
+                    ss_src.rel,
+                    bind_line,
+                    f"CAMPAIGN_BINDINGS names {name!r} which is not an "
+                    "SSSPSTConfig field (stale binding)",
+                )
+            )
+            continue
+        if not isinstance(binding, str) or not _BINDING_RE.match(binding):
+            findings.append(
+                Finding(
+                    "H204",
+                    ss_src.rel,
+                    bind_line,
+                    f"binding for {name!r} must be 'config:<field>', "
+                    f"'derived:<field>' or 'fixed' (got {binding!r})",
+                )
+            )
+            continue
+        if binding.startswith(("config:", "derived:")):
+            target = binding.split(":", 1)[1]
+            if config_fields and target not in config_fields:
+                findings.append(
+                    Finding(
+                        "H204",
+                        ss_src.rel,
+                        bind_line,
+                        f"binding for {name!r} targets "
+                        f"ScenarioConfig.{target} which does not exist",
+                    )
+                )
+    return findings

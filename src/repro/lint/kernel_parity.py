@@ -1,0 +1,159 @@
+"""Kernel-parity rules (K4xx): every JIT kernel needs a numpy twin.
+
+The columnar engine's hot loops ship in two implementations
+(``core/kernels.py``): optional ``@njit``-compiled scalar loops and the
+pure-numpy reference the rest of the engine runs without numba.  The
+whole point of the layer is the **bit-identity contract** between the
+two — a kernel that exists only in its JIT form cannot be checked
+against anything, and a kernel without a parity test is a contract
+nobody enforces.
+
+* ``K401`` — an ``@njit`` kernel registered in ``_compiled[...]`` has
+  no same-signature numpy twin: a module-level ``numpy_<name>`` whose
+  parameter list matches the JIT kernel's exactly, registered in the
+  literal-keyed ``NUMPY_TWINS`` table (the table :func:`get` falls back
+  to when numba is absent).
+* ``K402`` — a kernel name never appears as a quoted literal in any
+  test: no parity test pins the twins to each other.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.lint.base import Finding, Project
+
+__all__ = ["check_kernel_parity"]
+
+
+def _function_args(node: ast.FunctionDef) -> List[str]:
+    args = node.args
+    return [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+
+
+def _collect(tree: ast.AST) -> Dict[str, Optional[ast.FunctionDef]]:
+    """``kernel name -> its (possibly nested) def`` from ``_compiled[...] =``
+    assignments anywhere in the module."""
+    kernels: Dict[str, Optional[ast.FunctionDef]] = {}
+    defs: Dict[str, ast.FunctionDef] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            defs.setdefault(node.name, node)
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "_compiled"
+            ):
+                try:
+                    key = ast.literal_eval(target.slice)
+                except (ValueError, TypeError, SyntaxError):
+                    continue
+                if isinstance(key, str):
+                    kernels[key] = None
+    for name in kernels:
+        kernels[name] = defs.get(name)
+    return kernels
+
+
+def _twin_table(tree: ast.AST) -> Optional[Dict[str, str]]:
+    """``NUMPY_TWINS`` as ``kernel name -> twin function name`` (values
+    are Name references, so this is not a plain literal)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            hit = any(
+                isinstance(t, ast.Name) and t.id == "NUMPY_TWINS"
+                for t in node.targets
+            )
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            hit = (
+                isinstance(node.target, ast.Name)
+                and node.target.id == "NUMPY_TWINS"
+            )
+        else:
+            continue
+        if hit:
+            if not isinstance(node.value, ast.Dict):
+                return None
+            table: Dict[str, str] = {}
+            for key, value in zip(node.value.keys, node.value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(value, ast.Name)
+                ):
+                    table[key.value] = value.id
+            return table
+    return None
+
+
+def check_kernel_parity(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    src = project.source("core/kernels.py")
+    if src is None or src.parse_error:
+        return findings
+    assert src.tree is not None
+
+    kernels = _collect(src.tree)
+    if not kernels:
+        return findings
+    twins = _twin_table(src.tree) or {}
+    module_defs = {
+        node.name: node
+        for node in src.tree.body  # type: ignore[attr-defined]
+        if isinstance(node, ast.FunctionDef)
+    }
+    tests = project.test_text()
+
+    for name, jit_def in sorted(kernels.items()):
+        twin_name = twins.get(name)
+        twin_def = module_defs.get(twin_name) if twin_name else None
+        expected = f"numpy_{name}"
+        if twin_name is None:
+            findings.append(
+                Finding(
+                    "K401",
+                    src.rel,
+                    jit_def.lineno if jit_def else 1,
+                    f"@njit kernel {name!r} has no NUMPY_TWINS entry: the "
+                    f"bit-identity contract needs a module-level "
+                    f"{expected}() twin",
+                )
+            )
+        elif twin_def is None:
+            findings.append(
+                Finding(
+                    "K401",
+                    src.rel,
+                    jit_def.lineno if jit_def else 1,
+                    f"NUMPY_TWINS[{name!r}] = {twin_name} but no such "
+                    "module-level function exists",
+                )
+            )
+        elif jit_def is not None:
+            jit_args = _function_args(jit_def)
+            twin_args = _function_args(twin_def)
+            if jit_args != twin_args:
+                findings.append(
+                    Finding(
+                        "K401",
+                        src.rel,
+                        twin_def.lineno,
+                        f"numpy twin {twin_def.name}({', '.join(twin_args)}) "
+                        f"does not match the @njit signature "
+                        f"{name}({', '.join(jit_args)})",
+                    )
+                )
+        if f'"{name}"' not in tests and f"'{name}'" not in tests:
+            findings.append(
+                Finding(
+                    "K402",
+                    src.rel,
+                    jit_def.lineno if jit_def else 1,
+                    f"kernel {name!r} is not referenced by any test: no "
+                    "parity test pins the numpy/numba twins to each other",
+                )
+            )
+    return findings

@@ -194,7 +194,7 @@ class Network:
             Node(
                 self,
                 i,
-                mac_rng=streams.get(f"mac.{i}"),
+                mac_rng=streams.derive("mac", i),
                 battery_capacity_j=battery_capacity_j,
             )
             for i in range(mobility.n)

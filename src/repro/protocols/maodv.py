@@ -74,7 +74,7 @@ class MaodvAgent(MulticastAgent):
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        rng = self.network.streams.get(f"maodv.{self.node.id}")
+        rng = self.network.streams.derive("maodv", self.node.id)
         if self.is_source:
             self._timers.append(
                 PeriodicTimer(
@@ -90,7 +90,7 @@ class MaodvAgent(MulticastAgent):
             self._start_member_timer()
 
     def _start_member_timer(self) -> None:
-        rng = self.network.streams.get(f"maodv.{self.node.id}")
+        rng = self.network.streams.derive("maodv", self.node.id)
         self._member_timer = PeriodicTimer(
             self.sim,
             self.config.rreq_retry_interval,

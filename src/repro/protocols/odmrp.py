@@ -73,7 +73,7 @@ class OdmrpAgent(MulticastAgent):
     # ------------------------------------------------------------------
     def start(self) -> None:
         if self.is_source:
-            rng = self.network.streams.get(f"odmrp.{self.node.id}")
+            rng = self.network.streams.derive("odmrp", self.node.id)
             self._timer = PeriodicTimer(
                 self.sim,
                 self.config.query_interval,

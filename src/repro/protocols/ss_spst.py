@@ -113,6 +113,25 @@ class SSSPSTConfig:
             )
 
 
+#: how campaigns reach every SSSPSTConfig knob — the machine-readable
+#: binding contract enforced by ``repro.lint`` (rule H204).  A knob is
+#: ``config:<field>`` (driven verbatim by a hashed ScenarioConfig
+#: field), ``derived:<field>`` (computed from one at agent construction
+#: — see ``make_agent_factory``, which picks damping by protocol name),
+#: or ``fixed`` (a protocol-internal constant campaigns never vary).
+#: The point: an SSSPSTConfig knob outside this table could change run
+#: behavior without ever forking the config-hash cache key.
+CAMPAIGN_BINDINGS = {
+    "beacon_interval": "config:beacon_interval",
+    "beacon_jitter": "fixed",
+    "miss_factor": "fixed",
+    "range_margin": "fixed",
+    "switch_threshold": "derived:protocol",
+    "hold_down_intervals": "derived:protocol",
+    "activation": "config:daemon",
+}
+
+
 class LocalView(NodeView):
     """NodeView assembled from one node's beacon table (no global state)."""
 
@@ -299,7 +318,7 @@ class SSSPSTAgent(MulticastAgent):
 
     def start(self) -> None:
         interval = self.config.beacon_interval
-        stream = self.network.streams.get(f"beacon.{self.node.id}")
+        stream = self.network.streams.derive("beacon", self.node.id)
         activation = self.config.activation
         if activation in ("distributed", "randomized"):
             # Historical default, draw-for-draw: random phase + jitter.

@@ -1,0 +1,14 @@
+REGISTRY_AXES = {
+    "daemon": {
+        "module": "core/daemons.py",  # R301: module does not exist
+        "symbol": "DAEMON_NAMES",
+        "lookup": "daemon_by_name",
+        "names": (),
+    },
+    "gadget": {
+        "module": "core/gadgets.py",
+        "symbol": "GADGET_NAMES",
+        "lookup": "gadget_by_name",  # R304: unreachable from experiments/
+        "names": ("undocumented-thing",),  # R302 + R303
+    },
+}

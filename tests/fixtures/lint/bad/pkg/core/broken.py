@@ -1,0 +1,1 @@
+def half_finished(:  # E901: deliberate syntax error

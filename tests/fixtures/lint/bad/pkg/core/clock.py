@@ -1,0 +1,47 @@
+"""One violation per determinism rule, plus one inline suppression."""
+
+import datetime
+import os
+import random
+import time
+
+import numpy as np
+
+from pkg.util.rng import derive_seed
+
+
+def wall_clock():
+    stamp = time.time()  # D101
+    today = datetime.datetime.now()  # D101
+    okay = time.perf_counter()  # allowed: profiling clock
+    return stamp, today, okay
+
+
+def suppressed_clock():
+    return time.time()  # lint: ignore[D101] fixture: suppression must hold
+
+
+def entropy():
+    a = random.random()  # D102
+    b = np.random.rand(3)  # D102 (legacy module-level API)
+    c = np.random.default_rng()  # D102 (no seed)
+    d = np.random.default_rng(7)  # allowed: explicit seed
+    return a, b, c, d
+
+
+def environment():
+    mode = os.environ["FIXTURE_MODE"]  # D103
+    alt = os.getenv("FIXTURE_ALT")  # D103
+    return mode, alt
+
+
+def set_order(streams, node_id):
+    members = set([3, 1, 2])
+    order = list(members)  # D104
+    out = []
+    for m in members:  # D104 (body appends)
+        out.append(m)
+    squares = [m * m for m in members]  # D104 (list comprehension)
+    rng = streams.get(f"mac.{node_id}")  # D105
+    seed = derive_seed(node_id + 1, "mac")  # D105 (seed arithmetic)
+    return order, out, squares, rng, seed

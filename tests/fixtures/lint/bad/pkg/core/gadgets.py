@@ -1,0 +1,5 @@
+GADGET_NAMES = ("undocumented-thing",)
+
+
+def gadget_by_name(name):
+    return name

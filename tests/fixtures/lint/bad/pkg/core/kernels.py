@@ -1,0 +1,24 @@
+import numpy as np
+
+_compiled = {}
+
+
+def numpy_rotor(values):  # K401: signature drifted from the jit kernel
+    return values * 2.0
+
+
+NUMPY_TWINS = {"rotor": numpy_rotor}
+
+
+def _build():
+    def maglev(values, scale):  # K401: no NUMPY_TWINS entry; K402: untested
+        out = np.empty_like(values)
+        for i in range(values.size):
+            out[i] = values[i] * scale
+        return out
+
+    def rotor(values, scale):
+        return values * scale
+
+    _compiled["maglev"] = maglev
+    _compiled["rotor"] = rotor

@@ -1,0 +1,9 @@
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    n_nodes: int
+    seed: int = 0
+    shiny: float = 1.0  # H201: in neither hash table
+    backend: str = "rounds"  # H202: neutral table declares 'des'

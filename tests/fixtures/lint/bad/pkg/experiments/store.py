@@ -1,0 +1,6 @@
+CORE_HASH_FIELDS = ("n_nodes", "seed", "ghost")  # H203: 'ghost' is stale
+
+_HASH_NEUTRAL_DEFAULTS = {
+    "backend": "des",  # H202: dataclass default is 'rounds'
+    "seed": 0,  # H203: also in CORE_HASH_FIELDS
+}

@@ -1,0 +1,17 @@
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SSSPSTConfig:
+    beacon_interval: float = 1.0
+    jitter: float = 0.1  # H204: no CAMPAIGN_BINDINGS entry
+    miss_factor: float = 3.0
+    hold_down: int = 2
+
+
+CAMPAIGN_BINDINGS = {
+    "beacon_interval": "config:beacon_rate",  # H204: no such config field
+    "miss_factor": "sometimes",  # H204: not config:/derived:/fixed
+    "hold_down": "fixed",
+    "phantom": "fixed",  # H204: not an SSSPSTConfig field
+}

@@ -1,0 +1,2 @@
+def derive_seed(root_seed, name):
+    return (root_seed * 31 + len(name)) & 0xFFFF

@@ -1,0 +1,8 @@
+REGISTRY_AXES = {
+    "gadget": {
+        "module": "core/gadgets.py",
+        "symbol": "GADGET_NAMES",
+        "lookup": "gadget_by_name",
+        "names": ("alpha-router",),
+    },
+}

@@ -1,0 +1,7 @@
+GADGET_NAMES = ("alpha-router",)
+
+
+def gadget_by_name(name):
+    if name not in GADGET_NAMES:
+        raise ValueError(name)
+    return name

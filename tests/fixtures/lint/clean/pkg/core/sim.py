@@ -1,0 +1,17 @@
+"""Deterministic-core idioms that must stay legal (no D1xx findings)."""
+
+import time
+
+import numpy as np
+
+from pkg.util.rng import RngStreams
+
+
+def profiled_step(streams: RngStreams, members: set) -> list:
+    start = time.perf_counter()  # profiling clocks are allowed
+    rng = streams.derive("step", 3)  # sanctioned label composition
+    seeded = np.random.default_rng(42)  # explicit seed is fine
+    order = sorted(members)  # sorted() launders set order
+    count = len({m for m in members if m > 0})  # set->set is order-free
+    _ = (rng, seeded, start, count)
+    return order

@@ -1,0 +1,8 @@
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    n_nodes: int
+    seed: int = 0
+    backend: str = "des"

@@ -1,0 +1,5 @@
+from pkg.core.gadgets import gadget_by_name
+
+
+def run(name):
+    return gadget_by_name(name)

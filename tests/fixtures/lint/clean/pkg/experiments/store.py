@@ -1,0 +1,3 @@
+CORE_HASH_FIELDS = ("n_nodes", "seed")
+
+_HASH_NEUTRAL_DEFAULTS = {"backend": "des"}

@@ -1,0 +1,13 @@
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SSSPSTConfig:
+    beacon_interval: float = 1.0
+    jitter: float = 0.1
+
+
+CAMPAIGN_BINDINGS = {
+    "beacon_interval": "config:seed",
+    "jitter": "fixed",
+}

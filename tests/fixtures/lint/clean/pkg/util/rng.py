@@ -1,0 +1,12 @@
+import numpy as np
+
+
+class RngStreams:
+    def __init__(self, root_seed):
+        self.root_seed = root_seed
+
+    def get(self, name):
+        return np.random.default_rng(hash((self.root_seed, name)) & 0xFFFF)
+
+    def derive(self, label, *parts):
+        return self.get(".".join((label, *(str(p) for p in parts))))

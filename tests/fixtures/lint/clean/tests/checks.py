@@ -1,0 +1,5 @@
+# Fixture "tests" corpus (data, not collected by pytest): quoted
+# registry and kernel names satisfy rules R303 and K402.
+
+REGISTRY_REFS = ("alpha-router",)
+KERNEL_REFS = ("widget",)

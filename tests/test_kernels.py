@@ -175,6 +175,187 @@ def test_count_within_kernel_matches_numpy():
 
 
 # ----------------------------------------------------------------------
+# The twin contract: every compiled kernel has a same-signature numpy
+# reference twin (NUMPY_TWINS), get() falls back to it without numba,
+# and the two produce identical outputs on synthetic inputs.  The lint
+# rules K401/K402 check the same contract statically.
+# ----------------------------------------------------------------------
+KERNEL_NAMES_ALL = ("count_within", "fold", "energy_pair_costs", "forest_scan")
+
+
+def _csr_inputs(seed, n=7, per_row=9):
+    """A synthetic distance-sorted CSR (indptr, sdist) over ``n`` rows."""
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, per_row, size=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum(counts)
+    sdist = np.concatenate(
+        [np.sort(rng.uniform(0.0, 300.0, size=c)) for c in counts]
+    ) if indptr[-1] else np.zeros(0, dtype=np.float64)
+    return indptr, np.ascontiguousarray(sdist)
+
+
+def _fold_inputs(seed, n_rows=6, per_row=5):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, per_row, size=n_rows).astype(np.int64)
+    starts = np.zeros(n_rows, dtype=np.int64)
+    starts[1:] = np.cumsum(counts)[:-1]
+    total = int(counts.sum())
+    eff = rng.uniform(-5.0, 5.0, size=total)
+    eff[rng.random(total) < 0.15] = np.nan  # NaN band must propagate alike
+    return (
+        starts,
+        counts,
+        rng.random(total) < 0.8,                       # valid
+        eff,
+        rng.uniform(0.0, 10.0, size=total),            # oc
+        rng.integers(0, 3, size=total).astype(np.int64),   # inc
+        rng.integers(0, 6, size=total).astype(np.int64),   # hopU
+        rng.uniform(0.0, 100.0, size=total),           # D
+        rng.integers(0, 40, size=total).astype(np.int64),  # U
+        1e-9,                                          # tol
+    )
+
+
+def _pair_cost_inputs(seed, n=7, pairs=24):
+    rng = np.random.default_rng(seed)
+    indptr, sdist = _csr_inputs(seed + 1, n=n)
+    V = rng.integers(0, n, size=pairs).astype(np.int64)
+    U = rng.integers(0, n, size=pairs).astype(np.int64)
+    tin = rng.integers(0, 2 * n, size=n).astype(np.int64)
+    return (
+        V, U,
+        rng.uniform(0.0, 200.0, size=pairs),           # D
+        rng.uniform(0.0, 4.0, size=pairs),             # etx_d
+        rng.random(n) < 0.5,                           # flags
+        tin,
+        tin + rng.integers(1, n, size=n),              # tout
+        rng.uniform(0.0, 8.0, size=n),                 # Pd
+        rng.uniform(0.0, 8.0, size=n),                 # Pc
+        rng.uniform(0.0, 150.0, size=n),               # ft1
+        rng.integers(-1, n, size=n).astype(np.int64),  # ft1c
+        rng.uniform(0.0, 150.0, size=n),               # ft2
+        rng.uniform(0.0, 3.0, size=n),                 # ft1e
+        rng.uniform(0.0, 3.0, size=n),                 # ft2e
+        indptr, sdist,
+        0.05,                                          # e_rx
+        np.inf,
+    )
+
+
+def _forest_inputs(seed, n=12):
+    """A random forest as a child CSR plus roots/flags/costs."""
+    rng = np.random.default_rng(seed)
+    parent = np.full(n, -1, dtype=np.int64)
+    for v in range(1, n):
+        if rng.random() < 0.75:
+            parent[v] = rng.integers(0, v)
+    children = [[] for _ in range(n)]
+    for v in range(n):
+        if parent[v] >= 0:
+            children[parent[v]].append(v)
+    kcnt = np.array([len(c) for c in children], dtype=np.int64)
+    kptr = np.zeros(n, dtype=np.int64)
+    kptr[1:] = np.cumsum(kcnt)[:-1]
+    kbuf = np.array(
+        [c for cs in children for c in cs] or [0], dtype=np.int64
+    )
+    roots = np.flatnonzero(parent < 0).astype(np.int64)
+    return (
+        kptr, kcnt, kbuf, roots,
+        np.int64(0),                                   # src
+        rng.random(n) < 0.5,                           # flags
+        rng.uniform(0.0, 5.0, size=n),                 # ML
+        rng.uniform(0.0, 5.0, size=n),                 # costa
+    )
+
+
+def _count_within_inputs(seed):
+    indptr, sdist = _csr_inputs(seed)
+    rng = np.random.default_rng(seed + 2)
+    U = rng.integers(0, indptr.size - 1, size=32).astype(np.int64)
+    radii = np.ascontiguousarray(rng.uniform(0.0, 320.0, size=32))
+    return indptr, sdist, U, radii
+
+
+_TWIN_INPUTS = {
+    "count_within": _count_within_inputs,
+    "fold": _fold_inputs,
+    "energy_pair_costs": _pair_cost_inputs,
+    "forest_scan": _forest_inputs,
+}
+
+
+def _twin_inputs(name, seed):
+    return _TWIN_INPUTS[name](seed)
+
+
+def _as_lists(result):
+    if isinstance(result, tuple):
+        return [r.tolist() for r in result]
+    return result.tolist()
+
+
+class TestNumpyTwins:
+    def test_every_kernel_has_same_signature_twin(self):
+        """NUMPY_TWINS covers exactly the compiled-kernel names and each
+        twin's parameter list matches (the runtime half of lint K401)."""
+        import inspect
+
+        assert set(kernels.NUMPY_TWINS) == set(KERNEL_NAMES_ALL)
+        src = inspect.getsource(kernels._build)
+        for name, twin in kernels.NUMPY_TWINS.items():
+            assert twin.__name__ == f"numpy_{name}"
+            twin_params = list(inspect.signature(twin).parameters)
+            # the njit defs are nested in _build(); compare textually
+            assert f"def {name}(" in src
+            declared = src.split(f"def {name}(", 1)[1].split(")")[0]
+            jit_params = [
+                p.split(":")[0].strip()
+                for p in declared.split(",")
+                if p.strip()
+            ]
+            assert jit_params == twin_params, (
+                f"twin numpy_{name} signature drifted from the @njit kernel"
+            )
+
+    def test_get_falls_back_to_twins_without_numba(self):
+        """get() must work on machines without numba, returning the
+        numpy twin for every kernel name."""
+        kernels._numba_ok = False  # force "not importable"
+        for name in KERNEL_NAMES_ALL:
+            assert kernels.get(name) is kernels.NUMPY_TWINS[name]
+        with pytest.raises(KeyError, match="unknown kernel"):
+            kernels.get("transmogrify")
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES_ALL)
+    def test_twins_run_on_synthetic_inputs(self, name):
+        """Each twin executes and returns well-formed arrays (smoke —
+        the bit-identity against numba is pinned below and by the
+        trajectory properties above)."""
+        out = _as_lists(kernels.NUMPY_TWINS[name](*_twin_inputs(name, 5)))
+        assert out == _as_lists(
+            kernels.NUMPY_TWINS[name](*_twin_inputs(name, 5))
+        )
+
+    @needs_numba
+    @pytest.mark.parametrize("name", KERNEL_NAMES_ALL)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_twin_micro_parity(self, name, seed):
+        """The compiled kernel and its numpy twin agree element-for-
+        element on randomized synthetic inputs — including NaN bands
+        ('fold') and bisection keys ('count_within',
+        'energy_pair_costs') — so 'forest_scan' and friends stay
+        drop-in interchangeable."""
+        kernels.set_kernel("numba")
+        args = _twin_inputs(name, seed)
+        got = _as_lists(kernels.get(name)(*args))
+        want = _as_lists(kernels.NUMPY_TWINS[name](*args))
+        # exact comparison, NaNs included
+        assert repr(got) == repr(want)
+
+
+# ----------------------------------------------------------------------
 # Scalar fallback: the energy batch gate
 # ----------------------------------------------------------------------
 class TestScalarFallback:

@@ -44,3 +44,19 @@ class TestRngStreams:
         a = RngStreams(5).spawn("n").get("s").random(3)
         b = RngStreams(5).spawn("n").get("s").random(3)
         assert a.tolist() == b.tolist()
+
+    def test_derive_composes_label_parts(self):
+        # derive("mac", 3) must alias the stream the old call sites
+        # addressed as get("mac.3") — migrated code keeps trajectories
+        streams = RngStreams(7)
+        assert streams.derive("mac", 3) is streams.get("mac.3")
+
+    def test_derive_without_parts_is_get(self):
+        streams = RngStreams(7)
+        assert streams.derive("beacon") is streams.get("beacon")
+
+    def test_derive_distinct_parts_independent(self):
+        streams = RngStreams(7)
+        a = streams.derive("maodv", 0).random(4).tolist()
+        b = streams.derive("maodv", 1).random(4).tolist()
+        assert a != b
