@@ -55,7 +55,14 @@ REGISTRY_AXES: Dict[str, Dict[str, object]] = {
         "module": "experiments/scenario_models.py",
         "symbol": "MODEL_NAMES",
         "lookup": "model_by_name",
-        "names": ("waypoint", "gauss-markov", "random-walk", "static", "trace"),
+        "names": (
+            "waypoint",
+            "gauss-markov",
+            "random-walk",
+            "static",
+            "platoon",
+            "trace",
+        ),
     },
     "membership": {
         "module": "experiments/scenario_models.py",
@@ -74,6 +81,18 @@ REGISTRY_AXES: Dict[str, Dict[str, object]] = {
         "symbol": "BACKEND_NAMES",
         "lookup": "backend_by_name",
         "names": ("des", "rounds"),
+    },
+    "group-size": {
+        "module": "groups/models.py",
+        "symbol": "GROUP_MODEL_NAMES",
+        "lookup": "group_model_by_name",
+        "names": ("fixed", "linear-ramp"),
+    },
+    "group-overlap": {
+        "module": "groups/models.py",
+        "symbol": "GROUP_MODEL_NAMES",
+        "lookup": "group_model_by_name",
+        "names": ("independent", "disjoint", "shared-core"),
     },
     "engine": {
         "module": "core/convergence.py",
@@ -104,6 +123,7 @@ def _live_names() -> Dict[str, Tuple[str, ...]]:
     from repro.core.metrics import METRIC_NAMES
     from repro.experiments.backends import BACKEND_NAMES
     from repro.experiments.scenario_models import MODEL_NAMES
+    from repro.groups.models import GROUP_MODEL_NAMES
 
     live: Dict[str, Tuple[str, ...]] = {
         "daemon": tuple(DAEMON_NAMES),
@@ -112,6 +132,8 @@ def _live_names() -> Dict[str, Tuple[str, ...]]:
         "engine": tuple(ENGINE_NAMES),
     }
     for axis, names in MODEL_NAMES.items():
+        live[axis] = tuple(names)
+    for axis, names in GROUP_MODEL_NAMES.items():
         live[axis] = tuple(names)
     return live
 

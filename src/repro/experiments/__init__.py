@@ -37,6 +37,7 @@ from repro.experiments.scenario_models import (
 )
 from repro.experiments.sweeps import Sweep, SweepResult, run_sweep
 from repro.experiments.lifetime import LifetimeResult, compare_lifetimes, run_lifetime
+from repro.groups.models import GROUP_MODEL_NAMES, group_model_by_name
 
 #: campaign-service exports resolved lazily (PEP 562) so that running the
 #: CLI as ``python -m repro.experiments.campaign`` does not import the
@@ -100,6 +101,8 @@ __all__ = [
     "build_scenario_space",
     "effective_arena",
     "model_by_name",
+    "GROUP_MODEL_NAMES",
+    "group_model_by_name",
     "Sweep",
     "SweepResult",
     "run_sweep",

@@ -176,16 +176,27 @@ class DesBackend(ExperimentBackend):
         "link_events_per_s",
         "mean_degree",
         "partition_fraction",
+        "fairness_jain",
+        "group_pdr_min",
+        "link_stress_mean",
+        "link_stress_max",
+        "tree_overlap_ratio",
     )
 
     #: per-field defaults for records written before a diagnostic existed
     #: (counters default to 0; the mobility-profile floats to nan so old
-    #: records aggregate as "unknown", not "zero churn")
+    #: records aggregate as "unknown", not "zero churn"; likewise the
+    #: cross-group diagnostics added with repro.groups)
     DIAGNOSTIC_DEFAULTS = {
         "link_breaks_per_s": float("nan"),
         "link_events_per_s": float("nan"),
         "mean_degree": float("nan"),
         "partition_fraction": float("nan"),
+        "fairness_jain": float("nan"),
+        "group_pdr_min": float("nan"),
+        "link_stress_mean": float("nan"),
+        "link_stress_max": float("nan"),
+        "tree_overlap_ratio": float("nan"),
     }
 
     def validate(self, config: ScenarioConfig) -> None:
@@ -288,6 +299,23 @@ class DesBackend(ExperimentBackend):
                 "fraction of sampled instants the topology was disconnected "
                 "(a structural ceiling on PDR)",
             ),
+            MetricSpec(
+                "fairness_jain",
+                "Jain fairness index over per-group PDRs (1.0 = equal service)",
+            ),
+            MetricSpec("group_pdr_min", "PDR of the worst-served group"),
+            MetricSpec(
+                "link_stress_mean",
+                "mean per-edge usage count across the k final group trees",
+            ),
+            MetricSpec(
+                "link_stress_max",
+                "hottest edge's usage count across the k final group trees",
+            ),
+            MetricSpec(
+                "tree_overlap_ratio",
+                "1 - union/total of group-tree edges (0 = edge-disjoint trees)",
+            ),
         ]
         return {s.name: s for s in specs}
 
@@ -317,6 +345,12 @@ class RoundSummary:
     recovery_evaluations: float
     recovery_moves: float
     recovery_chain_steps: float
+    # Cross-group diagnostics (repro.groups); a single group scores
+    # fairness 1.0, stress 1.0, overlap 0.0.  nan in old records.
+    fairness_jain: float = float("nan")
+    link_stress_mean: float = float("nan")
+    link_stress_max: float = float("nan")
+    tree_overlap_ratio: float = float("nan")
 
     def as_dict(self) -> Dict[str, float]:
         return dict(self.__dict__)
@@ -408,7 +442,15 @@ class RoundsBackend(ExperimentBackend):
         from repro.core.convergence import engine_for
         from repro.core.rounds import fresh_states, total_cost
         from repro.core.state import NodeState
+        from repro.groups.metrics import group_tree_stats, jain_index
         from repro.util.rng import RngStreams
+
+        if config.group_count > 1:
+            # k independent engines over one placement; group 0 keeps the
+            # historical daemon stream so its trajectory matches a k=1 run.
+            from repro.groups.driver import run_multigroup_rounds
+
+            return run_multigroup_rounds(config)
 
         topo, metric = build_round_scenario(config)
         streams = RngStreams(config.seed)
@@ -447,6 +489,13 @@ class RoundsBackend(ExperimentBackend):
                 float(rec.moves),
                 float(rec.chain_steps),
             )
+        cost = total_cost(settled.states, metric.infinity(topo))
+        parents = {i: st.parent for i, st in enumerate(settled.states)}
+        stats = group_tree_stats(
+            {0: parents},
+            {0: topo.source},
+            {0: sorted(set(topo.members) - {topo.source})},
+        )
         summary = RoundSummary(
             rounds=settled.rounds,
             evaluations=settled.evaluations,
@@ -454,11 +503,15 @@ class RoundsBackend(ExperimentBackend):
             chain_steps=settled.chain_steps,
             converged=int(settled.converged),
             connected=int(topo.is_connected()),
-            total_cost=total_cost(settled.states, metric.infinity(topo)),
+            total_cost=cost,
             recovery_rounds=recovery[0],
             recovery_evaluations=recovery[1],
             recovery_moves=recovery[2],
             recovery_chain_steps=recovery[3],
+            fairness_jain=jain_index([cost]),
+            link_stress_mean=stats["link_stress_mean"],
+            link_stress_max=stats["link_stress_max"],
+            tree_overlap_ratio=stats["tree_overlap_ratio"],
         )
         return RoundRunResult(summary=summary, config=config)
 
@@ -500,6 +553,23 @@ class RoundsBackend(ExperimentBackend):
             MetricSpec("recovery_moves", "moves to absorb one transient fault"),
             MetricSpec(
                 "recovery_chain_steps", "chain steps to absorb one transient fault"
+            ),
+            MetricSpec(
+                "fairness_jain",
+                "Jain fairness index over per-group tree costs "
+                "(1.0 = equal resource footprint)",
+            ),
+            MetricSpec(
+                "link_stress_mean",
+                "mean per-edge usage count across the k settled group trees",
+            ),
+            MetricSpec(
+                "link_stress_max",
+                "hottest edge's usage count across the k settled group trees",
+            ),
+            MetricSpec(
+                "tree_overlap_ratio",
+                "1 - union/total of group-tree edges (0 = edge-disjoint trees)",
             ),
         ]
         return {s.name: s for s in specs}

@@ -593,7 +593,7 @@ def _add_spec_args(parser: argparse.ArgumentParser) -> None:
     what.add_argument(
         "--figure",
         help="run a figure's grid (fig07..fig16, or the figd01/figd02/"
-        "figd03/figm01 extensions) instead of --grid",
+        "figd03/figm01/figg01 extensions) instead of --grid",
     )
     what.add_argument(
         "--backend",

@@ -110,6 +110,23 @@ class ScenarioConfig:
     # multicast group: source is node 0; receivers per the membership model
     group_size: int = 20  # receivers + source
 
+    # concurrent multicast sessions (repro.groups).  group_count = 1 is
+    # the paper's single group; k > 1 stabilizes k SS-SPST trees over
+    # one contended network.  Group 0 is always the historical group
+    # (source 0 plus the membership model's receivers, drawn from the
+    # historical "group" substream); groups 1..k-1 come from the
+    # group-size / overlap generators below, drawing only from the
+    # per-group "groups.<gid>" substreams — so a single-group config is
+    # bit-identical to the pre-groups code.  All three fields are
+    # hash-neutral at their defaults.
+    group_count: int = 1
+    #: how the sizes of groups 1..k-1 derive from group_size:
+    #: "fixed" (default) or "linear-ramp" (param ramp_min_frac)
+    group_size_model: str = "fixed"
+    #: how groups 1..k-1 pick their members: "independent" (default),
+    #: "disjoint", or "shared-core" (param core_frac)
+    overlap_model: str = "independent"
+
     # radio / channel.  The electronics energy is 802.11-era (~2 Mb/s at
     # several hundred mW of circuit power -> ~1 uJ/bit tx, ~0.3 uJ/bit rx);
     # with the 100 pJ/bit/m^2 amplifier this puts the energy-optimal hop
@@ -185,6 +202,8 @@ class ScenarioConfig:
         )
         if self.group_size < 2 or self.group_size > self.n_nodes:
             raise ValueError("group_size must be in [2, n_nodes]")
+        if self.group_count < 1:
+            raise ValueError("group_count must be >= 1")
         if self.v_min <= 0:
             raise ValueError("v_min must be > 0 (Noble fix)")
         if self.sim_time <= self.traffic_start:

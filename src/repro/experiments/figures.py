@@ -629,6 +629,65 @@ def _build_figures() -> Dict[str, FigureDef]:
         ),
     )
 
+    # ---------------------------------------------------------------- figg01
+    # Extension (not a paper figure): the multi-group workload axis
+    # (repro.groups).  The paper evaluates one multicast session at a
+    # time; this figure stacks k concurrent SS-SPST sessions on one
+    # contended medium and plots aggregate PDR vs group_count (x n via
+    # the campaign grid), with cross-group fairness and link stress
+    # checked through the raw per-run diagnostics.
+    figs["figg01"] = FigureDef(
+        fig_id="figg01",
+        title="Aggregate PDR and Cross-Group Fairness vs. Concurrent "
+        "Groups (extension)",
+        x_name="group_count",
+        y_name="pdr",
+        extract="pdr",  # resolved via the DES backend's MetricSpec
+        protocols=("ss-spst", "ss-spst-e"),
+        x_quick=(1, 2, 4),
+        x_full=(1, 2, 4, 8),
+        base_quick=_quick(v_max=5.0, n_nodes=30, group_size=8),
+        base_full=_full(v_max=5.0, group_size=10),
+        extra_grid={"n_nodes": (30, 50)},
+        checks=[
+            (
+                "aggregate PDR stays in [0, 1] with no nan cells",
+                lambda r: all(
+                    y == y and 0.0 <= y <= 1.0
+                    for s in r.series.values()
+                    for y in s
+                ),
+            ),
+            (
+                "a single group scores perfect Jain fairness",
+                lambda r: _raw_mean(r, "ss-spst", 1, "fairness_jain") > 0.999,
+            ),
+            (
+                "fairness stays a valid Jain index under 4-way contention",
+                lambda r: 0.0
+                <= _raw_mean(r, "ss-spst", 4, "fairness_jain")
+                <= 1.0 + 1e-9,
+            ),
+            (
+                "link stress is populated for multi-group cells "
+                "(trees share at least their own edges)",
+                lambda r: _raw_mean(r, "ss-spst", 4, "link_stress_mean") >= 1.0,
+            ),
+            (
+                "contention costs delivery: 4 groups do no better than 1",
+                lambda r: r.series["ss-spst"][list(r.x_values).index(4)]
+                <= r.series["ss-spst"][list(r.x_values).index(1)] + 0.05,
+            ),
+        ],
+        notes=(
+            "group_count is hash-neutral at 1 (the paper's single "
+            "session), so the k=1 column shares cache cells with every "
+            "other figure.  Groups 1..k-1 come from the group-size/"
+            "overlap generators; sweep overlap with --grid "
+            "overlap_model=independent,disjoint,shared-core."
+        ),
+    )
+
     # ---------------------------------------------------------------- fig16
     figs["fig16"] = FigureDef(
         fig_id="fig16",
@@ -665,6 +724,6 @@ def _build_figures() -> Dict[str, FigureDef]:
     return figs
 
 
-#: the per-figure registry (fig07..fig16 plus the figd01/figd02/figm01
-#: extensions)
+#: the per-figure registry (fig07..fig16 plus the figd01/figd02/figm01/
+#: figg01 extensions)
 FIGURES: Dict[str, FigureDef] = _build_figures()

@@ -11,6 +11,9 @@ from repro.experiments.scenario_models import (
     build_scenario_space,
     resolved_models,
 )
+from repro.groups.agents import GroupDispatchAgent, make_group_dispatch_factory
+from repro.groups.metrics import group_tree_stats
+from repro.groups.traffic import MultiGroupCbr
 from repro.metrics.hub import MetricsHub, RunSummary
 from repro.mobility.analysis import mobility_profile
 from repro.net.mac import MacConfig
@@ -42,6 +45,16 @@ class RunResult:
     link_events_per_s: float = float("nan")
     mean_degree: float = float("nan")
     partition_fraction: float = float("nan")
+    # Cross-group diagnostics (repro.groups): fairness over per-group
+    # PDRs, worst-served group, and link-stress/overlap of the k final
+    # trees.  Populated for every SS-SPST-family run (a single group
+    # scores fairness 1.0, stress 1.0, overlap 0.0); nan for on-demand
+    # protocols and in records written before these existed.
+    fairness_jain: float = float("nan")
+    group_pdr_min: float = float("nan")
+    link_stress_mean: float = float("nan")
+    link_stress_max: float = float("nan")
+    tree_overlap_ratio: float = float("nan")
 
     def __getattr__(self, item):
         # Convenience passthrough: result.pdr == result.summary.pdr.
@@ -86,7 +99,7 @@ def build_network(config: ScenarioConfig):
         loss_prob=config.loss_prob,
         capture_threshold=config.capture_threshold,
     )
-    network.set_group(source=space.source, members=space.receivers)
+    network.set_groups(space.groups)
     return sim, network
 
 
@@ -99,34 +112,69 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
     separate named substreams.
     """
     sim, network = build_network(config)
+    multigroup = config.group_count > 1
     hub = MetricsHub(
         n_receivers=len(network.receivers),
         availability_window=max(2.0, 4.0 * 1.0 / _packets_per_second(config)),
     )
     hub.set_packet_size_hint(config.packet_bytes)
+    if multigroup:
+        hub.set_group_receiver_counts(
+            {g.gid: len(g.receivers) for g in network.groups}
+        )
     network.hub = hub
 
-    network.attach_agents(
-        make_agent_factory(
-            config.protocol,
-            beacon_interval=config.beacon_interval,
-            daemon=config.daemon,
+    if multigroup:
+        # One SS-SPST instance per group per node, one shared medium
+        # (validate_group_models already restricted the protocol family).
+        network.attach_agents(
+            make_group_dispatch_factory(
+                config.protocol,
+                [g.gid for g in network.groups],
+                beacon_interval=config.beacon_interval,
+                daemon=config.daemon,
+            )
         )
-    )
+    else:
+        network.attach_agents(
+            make_agent_factory(
+                config.protocol,
+                beacon_interval=config.beacon_interval,
+                daemon=config.daemon,
+            )
+        )
     network.start()
 
     models = resolved_models(config)
-    traffic = models["traffic"].build(network, config)
+    if multigroup:
+        traffic = MultiGroupCbr(
+            network,
+            rate_kbps=config.rate_kbps,
+            packet_bytes=config.packet_bytes,
+            start_time=config.traffic_start,
+        )
+    else:
+        traffic = models["traffic"].build(network, config)
     traffic.start()
-    # Membership models may schedule mid-run join/leave events (rotating).
+    # Membership models may schedule mid-run join/leave events (rotating;
+    # churn only ever touches group 0, the membership model's group).
     models["membership"].install(network, config)
 
     # The probed set is read live: rotating membership changes who the
     # receivers are mid-run (a no-op for static memberships).
+    def _probe() -> None:
+        if multigroup:
+            for g in network.groups:
+                hub.probe_availability(
+                    network.group_receivers_of(g.gid), sim.now, group=g.gid
+                )
+        else:
+            hub.probe_availability(network.receivers, sim.now)
+
     prober = PeriodicTimer(
         sim,
         config.availability_probe_interval,
-        lambda: hub.probe_availability(network.receivers, sim.now),
+        _probe,
         start_offset=config.traffic_start + config.availability_probe_interval,
     )
 
@@ -139,8 +187,9 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
     parent_changes = sum(
         node.agent.parent_changes
         for node in network.nodes
-        if isinstance(node.agent, SSSPSTAgent)
+        if isinstance(node.agent, (SSSPSTAgent, GroupDispatchAgent))
     )
+    tree_stats = _final_tree_stats(network)
     profile = _mobility_profile(config)
     return RunResult(
         summary=hub.summary(network.total_energy()),
@@ -153,12 +202,43 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
         link_events_per_s=profile.churn.event_rate,
         mean_degree=profile.churn.mean_degree,
         partition_fraction=profile.partition_fraction,
+        fairness_jain=hub.fairness_jain(),
+        group_pdr_min=hub.group_pdr_min(),
+        **tree_stats,
     )
 
 
+def _final_tree_stats(network: Network) -> Dict[str, float]:
+    """Link-stress/overlap of the final per-group trees.
+
+    Reads settled agent state only — no RNG, no events — so computing it
+    cannot perturb the run.  Empty for protocols without an explicit
+    parent tree (on-demand baselines): the RunResult keeps its nan
+    defaults there.
+    """
+    parent_maps: Dict[int, Dict[int, Optional[int]]] = {}
+    sources: Dict[int, int] = {}
+    receivers: Dict[int, object] = {}
+    for group in network.groups:
+        parents: Dict[int, Optional[int]] = {}
+        for node in network.nodes:
+            agent = node.agent
+            if isinstance(agent, GroupDispatchAgent):
+                agent = agent.agent_for(group.gid)
+            if not isinstance(agent, SSSPSTAgent):
+                return {}
+            parents[node.id] = agent.state.parent
+        parent_maps[group.gid] = parents
+        sources[group.gid] = network.group_source_of(group.gid)
+        receivers[group.gid] = network.group_receivers_of(group.gid)
+    return group_tree_stats(parent_maps, sources, receivers)
+
+
 #: config fields the mobility trajectory (and so the profile) depends on
+#: (group_count: the platoon model defaults its convoy count to it)
 _PROFILE_FIELDS = (
     "seed",
+    "group_count",
     "n_nodes",
     "arena_w",
     "arena_h",

@@ -70,8 +70,15 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.groups.models import (
+    GroupSet,
+    build_groups,
+    group_param_keys,
+    validate_group_models,
+)
 from repro.mobility.base import MobilityModel
 from repro.mobility.gauss_markov import GaussMarkov
+from repro.mobility.platoon import PlatoonMobility
 from repro.mobility.placement import (
     edge_weighted_positions,
     gaussian_cluster_positions,
@@ -285,6 +292,46 @@ class StaticMobility(MobilityAxisModel):
                 config.n_nodes, arena, positions=initial_positions
             )
         return StaticPlacement(config.n_nodes, arena, rng=streams.get("mobility"))
+
+
+class PlatoonMobilityModel(MobilityAxisModel):
+    """Correlated convoy motion (:mod:`repro.mobility.platoon`).
+
+    ``platoon_count = 0`` (the default) means one platoon per multicast
+    group — the natural multi-group workload where each session's
+    audience travels together — while an explicit count decouples
+    convoy structure from group structure.
+    """
+
+    name = "platoon"
+    params = {"platoon_count": 0, "platoon_spread": 60.0}
+
+    def validate(self, config, backend):
+        if int(self.param(config, "platoon_count")) < 0:
+            raise ValueError("platoon mobility needs platoon_count >= 0")
+        if float(self.param(config, "platoon_spread")) < 0:
+            raise ValueError("platoon mobility needs platoon_spread >= 0")
+        if config.placement != "uniform":
+            raise ValueError(
+                "platoon mobility derives every position from its convoy "
+                "anchors; the placement axis must stay at its 'uniform' "
+                "default"
+            )
+
+    def build(self, config, arena, initial_positions, streams):
+        count = int(self.param(config, "platoon_count"))
+        if count <= 0:
+            count = max(config.group_count, 1)
+        return PlatoonMobility(
+            config.n_nodes,
+            arena,
+            platoon_count=count,
+            spread=float(self.param(config, "platoon_spread")),
+            v_min=config.v_min,
+            v_max=config.v_max,
+            pause_time=config.pause_time,
+            rng=streams.get("mobility"),
+        )
 
 
 class TraceMobilityModel(MobilityAxisModel):
@@ -522,6 +569,7 @@ REGISTRIES: Dict[str, Dict[str, ScenarioModel]] = {
         GaussMarkovMobility(),
         RandomWalkMobility(),
         StaticMobility(),
+        PlatoonMobilityModel(),
         TraceMobilityModel(),
     ),
     "membership": _registry(
@@ -584,6 +632,7 @@ def validate_models(config: "ScenarioConfig", backend: str) -> None:
         )
     for model in models.values():
         model.validate(config, backend)
+    validate_group_models(config, backend)
     # Keys are checked against every *registered* model, not only the
     # resolved ones: a campaign base legitimately carries parameters for
     # models a grid axis selects per cell (--grid membership=rotating
@@ -594,7 +643,7 @@ def validate_models(config: "ScenarioConfig", backend: str) -> None:
         for registry in REGISTRIES.values()
         for model in registry.values()
         for key in model.params
-    }
+    } | group_param_keys()
     unknown = sorted(set(dict(config.model_params)) - accepted)
     if unknown:
         raise ValueError(
@@ -692,6 +741,10 @@ class ScenarioSpace:
     source: int
     receivers: List[int]
     models: Dict[str, ScenarioModel]
+    #: the realized multicast groups; ``groups[0]`` is always
+    #: ``(source, receivers)`` and a ``group_count=1`` config realizes
+    #: it without any extra RNG draws (bit-identity contract)
+    groups: GroupSet
 
 
 def effective_arena(config: "ScenarioConfig") -> Arena:
@@ -720,6 +773,7 @@ def build_scenario_space(config: "ScenarioConfig") -> ScenarioSpace:
     source, receivers = models["membership"].initial_group(
         config, mobility, streams
     )
+    groups = build_groups(config, source, receivers, streams)
     return ScenarioSpace(
         arena=arena,
         streams=streams,
@@ -727,4 +781,5 @@ def build_scenario_space(config: "ScenarioConfig") -> ScenarioSpace:
         source=source,
         receivers=receivers,
         models=models,
+        groups=groups,
     )

@@ -125,6 +125,13 @@ _HASH_NEUTRAL_DEFAULTS: Dict[str, object] = {
     # forks a cell because CSR edge discovery rounds near-coincident
     # pair distances differently than the dense matrix identity
     "topology": "dense",
+    # multi-group multicast (PR 10): one group is the paper's scenario
+    # and bit-identical to the pre-groups code by construction (extra
+    # groups draw from their own substreams), so a single-group config
+    # keeps its historical hash on every axis value combination below
+    "group_count": 1,
+    "group_size_model": "fixed",
+    "overlap_model": "independent",
 }
 
 

@@ -1,0 +1,145 @@
+"""JSON import/export of realized scenarios (positions + groups).
+
+Multi-group scenarios are worth sharing as artifacts: a reviewer can
+re-run the exact node placement and group structure a figure came from
+without re-deriving it through the RNG pipeline, and external tools can
+generate scenario files for the simulator to consume.  The schema is
+deliberately tiny and versioned::
+
+    {
+      "schema": 1,
+      "arena": [750.0, 750.0],
+      "positions": [[x0, y0], [x1, y1], ...],
+      "groups": [{"gid": 0, "source": 0, "receivers": [3, 7, ...]}, ...],
+      "meta": {...}            # free-form provenance (optional)
+    }
+
+:func:`dump_scenario` / :func:`load_scenario` round-trip exactly
+(positions as float64, groups as a
+:class:`~repro.groups.models.GroupSet`);
+:func:`scenario_document` snapshots a
+:class:`~repro.experiments.config.ScenarioConfig`'s realized t = 0
+scenario through the same :func:`build_scenario_space` path both
+backends use.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Union
+
+import numpy as np
+
+from repro.groups.models import GroupSet, GroupSpec
+
+#: scenario-document layout version written by :func:`dump_scenario`
+SCENARIO_SCHEMA = 1
+
+
+@dataclass
+class ScenarioDocument:
+    """One realized scenario: arena, t = 0 positions, group structure."""
+
+    arena: tuple  # (width, height)
+    positions: np.ndarray  # (n, 2) float64
+    groups: GroupSet
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.positions.shape[0])
+
+
+def _as_document_dict(doc: ScenarioDocument) -> Dict[str, Any]:
+    return {
+        "schema": SCENARIO_SCHEMA,
+        "arena": [float(doc.arena[0]), float(doc.arena[1])],
+        "positions": [[float(x), float(y)] for x, y in doc.positions],
+        "groups": [
+            {
+                "gid": g.gid,
+                "source": g.source,
+                "receivers": list(g.receivers),
+            }
+            for g in doc.groups
+        ],
+        "meta": dict(doc.meta),
+    }
+
+
+def dump_scenario(path: str, doc: ScenarioDocument) -> None:
+    """Write a scenario document as (stable, human-diffable) JSON."""
+    payload = _as_document_dict(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def loads_scenario(text: str) -> ScenarioDocument:
+    """Parse a scenario document from a JSON string."""
+    raw = json.loads(text)
+    schema = raw.get("schema")
+    if schema != SCENARIO_SCHEMA:
+        raise ValueError(
+            f"unsupported scenario schema {schema!r} "
+            f"(this build reads schema {SCENARIO_SCHEMA})"
+        )
+    positions = np.asarray(raw["positions"], dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError("positions must be an (n, 2) array")
+    groups = GroupSet(
+        groups=tuple(
+            GroupSpec(
+                gid=int(g["gid"]),
+                source=int(g["source"]),
+                receivers=tuple(int(r) for r in g["receivers"]),
+            )
+            for g in raw["groups"]
+        )
+    )
+    n = positions.shape[0]
+    for g in groups:
+        bad = [v for v in g.members if v < 0 or v >= n]
+        if bad:
+            raise ValueError(
+                f"group {g.gid} references node(s) {bad} outside 0..{n - 1}"
+            )
+    arena_raw: List[float] = list(raw["arena"])
+    return ScenarioDocument(
+        arena=(float(arena_raw[0]), float(arena_raw[1])),
+        positions=positions,
+        groups=groups,
+        meta=dict(raw.get("meta", {})),
+    )
+
+
+def load_scenario(path: str) -> ScenarioDocument:
+    """Read a scenario document written by :func:`dump_scenario`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads_scenario(fh.read())
+
+
+def scenario_document(config: Any, meta: Union[Dict[str, Any], None] = None) -> ScenarioDocument:
+    """Snapshot a ``ScenarioConfig``'s realized t = 0 scenario.
+
+    Uses the identical :func:`build_scenario_space` construction path
+    the DES runner and the rounds backend share, so the exported
+    positions and groups are exactly what a run of that config sees.
+    """
+    from repro.experiments.scenario_models import build_scenario_space
+
+    space = build_scenario_space(config)
+    doc_meta: Dict[str, Any] = {
+        "seed": config.seed,
+        "n_nodes": config.n_nodes,
+        "group_count": config.group_count,
+    }
+    if meta:
+        doc_meta.update(meta)
+    return ScenarioDocument(
+        arena=(space.arena.width, space.arena.height),
+        positions=np.asarray(space.mobility.positions(0.0), dtype=float).copy(),
+        groups=space.groups,
+        meta=doc_meta,
+    )

@@ -1,0 +1,122 @@
+"""Cross-group metrics: fairness, link stress and tree overlap.
+
+These are the quantities the multi-group workload family is about —
+how k concurrent trees share one network:
+
+* **Jain fairness** over per-group goodput, ``(sum x)^2 / (k sum x^2)``
+  in [1/k, 1], 1 when every group is served equally.  The DES computes
+  it over per-group PDR (goodput normalized by offered load, so a small
+  group and a large group at equal service fairness score equally); the
+  rounds backend over per-group tree cost (resource-footprint fairness).
+* **Link stress**: per-edge usage counts accumulated across the k group
+  trees — the mean counts shared infrastructure, the max finds the
+  hottest link.
+* **Tree overlap**: ``1 - |union of edges| / (sum of per-tree edges)``,
+  0 when the trees are edge-disjoint, approaching ``1 - 1/k`` when all
+  k trees coincide.
+
+Both backends feed :func:`multicast_tree_edges` with parent maps (from
+settled round-model states or the final DES agent states) and the
+group's receivers; the edge walk itself is backend-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+Edge = Tuple[int, int]
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index over per-group allocations.
+
+    ``(sum x)^2 / (k * sum x^2)``; 1.0 for an empty or all-zero
+    allocation (nobody is favored), nan if any value is nan.
+    """
+    xs = [float(v) for v in values]
+    if any(x != x for x in xs):
+        return float("nan")
+    if not xs:
+        return 1.0
+    sq = sum(x * x for x in xs)
+    if sq <= 0.0:
+        return 1.0
+    total = sum(xs)
+    return (total * total) / (len(xs) * sq)
+
+
+def multicast_tree_edges(
+    parents: Mapping[int, Optional[int]],
+    source: int,
+    members: Iterable[int],
+) -> FrozenSet[Edge]:
+    """Edges of the member-covering multicast subtree.
+
+    The union of each member's parent chain toward the source — exactly
+    the links data traverses under per-group power-controlled
+    forwarding.  Disconnected members contribute whatever chain prefix
+    exists (a partial tree under partition); a cycle in the parent map
+    (a transient, non-stabilized state) is cut by the step guard rather
+    than looping forever.
+    """
+    edges = set()
+    guard = len(parents) + 1
+    for m in members:
+        v = int(m)
+        for _ in range(guard):
+            if v == source:
+                break
+            p = parents.get(v)
+            if p is None:
+                break
+            edge = (v, int(p))
+            if edge in edges:
+                break  # chain already walked (or a cycle revisit)
+            edges.add(edge)
+            v = int(p)
+    return frozenset(edges)
+
+
+def link_stress_stats(
+    edge_sets: Sequence[FrozenSet[Edge]],
+) -> Tuple[float, float, float]:
+    """``(mean stress, max stress, overlap ratio)`` across group trees.
+
+    Stress of an edge is how many group trees use it; the mean is over
+    the *union* of used edges.  Overlap is ``1 - union / total`` (0 for
+    a single tree or edge-disjoint trees).  All-empty trees — e.g. a
+    fully partitioned snapshot — yield nan stress and 0 overlap.
+    """
+    counts: Counter = Counter()
+    for edges in edge_sets:
+        counts.update(edges)
+    total = sum(counts.values())
+    if not counts:
+        return float("nan"), float("nan"), 0.0
+    mean = total / len(counts)
+    peak = float(max(counts.values()))
+    overlap = 1.0 - len(counts) / total
+    return mean, peak, overlap
+
+
+def group_tree_stats(
+    parent_maps: Mapping[int, Mapping[int, Optional[int]]],
+    sources: Mapping[int, int],
+    receivers: Mapping[int, Iterable[int]],
+) -> Dict[str, float]:
+    """Link-stress/overlap summary over per-group parent maps.
+
+    ``parent_maps[gid]`` is node -> parent for group ``gid``'s tree;
+    returns the three diagnostics both backends persist.
+    """
+    edge_sets = [
+        multicast_tree_edges(parent_maps[gid], sources[gid], receivers[gid])
+        for gid in sorted(parent_maps)
+    ]
+    mean, peak, overlap = link_stress_stats(edge_sets)
+    return {
+        "link_stress_mean": mean,
+        "link_stress_max": peak,
+        "tree_overlap_ratio": overlap,
+    }

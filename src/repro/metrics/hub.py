@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
+from repro.groups.metrics import jain_index
 from repro.net.packet import Packet, PacketKind
 from repro.util.ids import NodeId
 from repro.util.units import joules_to_mj
@@ -47,11 +48,26 @@ class MetricsHub:
         self.control_bytes_tx = 0
         self.data_bytes_tx = 0
         self.duplicates_suppressed = 0
-        self._deliveries: Dict[Tuple[NodeId, int, int], float] = {}
+        # Delivery identity and recency are group-scoped: the same node
+        # receiving the same (origin, seq) through two sessions is two
+        # distinct deliveries.  Single-group runs only ever use group 0,
+        # so every aggregate below reduces to the historical quantity.
+        self._deliveries: Dict[Tuple[int, NodeId, int, int], float] = {}
         self._delays: list = []
-        self._last_delivery_at: Dict[NodeId, float] = {}
+        self._last_delivery_at: Dict[Tuple[int, NodeId], float] = {}
         self._probes = 0
         self._probe_misses = 0
+        self._group_receiver_counts: Dict[int, int] = {0: n_receivers}
+        self._originated_by_group: Dict[int, int] = {}
+        self._delivered_by_group: Dict[int, int] = {}
+
+    def set_group_receiver_counts(self, counts: Dict[int, int]) -> None:
+        """Declare per-group receiver counts (multi-group runs).
+
+        Drives per-group expected-delivery denominators; group 0 defaults
+        to the constructor's ``n_receivers``.
+        """
+        self._group_receiver_counts = dict(counts)
 
     # ------------------------------------------------------------------
     # Event sinks
@@ -66,6 +82,8 @@ class MetricsHub:
     def on_data_originated(self, packet: Packet) -> None:
         """Called by the source agent when a new data packet enters."""
         self.data_originated += 1
+        g = packet.group
+        self._originated_by_group[g] = self._originated_by_group.get(g, 0) + 1
 
     def on_data_delivered(self, receiver: NodeId, packet: Packet, now: float) -> bool:
         """Called by a member agent on accepting a data packet.
@@ -73,21 +91,23 @@ class MetricsHub:
         Returns True for a first delivery, False for a duplicate (which is
         counted but not re-credited).
         """
-        key = (receiver, packet.origin, packet.seq)
+        key = (packet.group, receiver, packet.origin, packet.seq)
         if key in self._deliveries:
             self.duplicates_suppressed += 1
             return False
         self._deliveries[key] = now
         self._delays.append(now - packet.created_at)
-        self._last_delivery_at[receiver] = now
+        self._last_delivery_at[(packet.group, receiver)] = now
+        g = packet.group
+        self._delivered_by_group[g] = self._delivered_by_group.get(g, 0) + 1
         return True
 
-    def probe_availability(self, receivers, now: float) -> None:
+    def probe_availability(self, receivers, now: float, group: int = 0) -> None:
         """Periodic service probe: a receiver is 'covered' if it saw a
-        delivery within the availability window."""
+        delivery for ``group`` within the availability window."""
         for r in receivers:
             self._probes += 1
-            last = self._last_delivery_at.get(r)
+            last = self._last_delivery_at.get((group, r))
             if last is None or now - last > self.availability_window:
                 self._probe_misses += 1
 
@@ -96,9 +116,38 @@ class MetricsHub:
     def data_delivered(self) -> int:
         return len(self._deliveries)
 
+    def _expected_deliveries(self) -> int:
+        """Sum over groups of originations times that group's audience."""
+        if not self._originated_by_group:
+            return self.data_originated * self.n_receivers
+        return sum(
+            count * self._group_receiver_counts.get(g, self.n_receivers)
+            for g, count in self._originated_by_group.items()
+        )
+
+    def group_pdrs(self) -> Dict[int, float]:
+        """Per-group packet delivery ratio (0.0 when nothing was sent)."""
+        out: Dict[int, float] = {}
+        for g in sorted(self._group_receiver_counts):
+            expected = self._originated_by_group.get(g, 0) * (
+                self._group_receiver_counts.get(g, self.n_receivers)
+            )
+            delivered = self._delivered_by_group.get(g, 0)
+            out[g] = delivered / expected if expected else 0.0
+        return out
+
+    def fairness_jain(self) -> float:
+        """Jain index over per-group PDRs (1.0 for a single group)."""
+        return jain_index(self.group_pdrs().values())
+
+    def group_pdr_min(self) -> float:
+        """The worst-served group's PDR."""
+        pdrs = self.group_pdrs()
+        return min(pdrs.values()) if pdrs else 0.0
+
     def summary(self, total_energy_j: float) -> RunSummary:
         """Finalize, given the network-wide energy total."""
-        expected = self.data_originated * self.n_receivers
+        expected = self._expected_deliveries()
         delivered = self.data_delivered
         pdr = delivered / expected if expected else 0.0
         epp = joules_to_mj(total_energy_j) / delivered if delivered else float("inf")

@@ -1,0 +1,81 @@
+"""Platoon (convoy) mobility: correlated motion around group anchors.
+
+A multi-group workload rarely has every node roaming independently —
+vehicle convoys, squads and guided tours move as cohesive units.  The
+platoon model realizes that correlation with one random-waypoint
+**anchor** per platoon plus a fixed per-node offset: node ``i`` belongs
+to platoon ``i mod platoon_count`` and sits at ``anchor + offset_i``
+(clipped into the arena), so platoon members share a trajectory while
+keeping a stable internal formation.
+
+This is the classic Reference Point Group Mobility shape (column/convoy
+special case) with a deterministic membership-to-platoon assignment so
+the model stays valid for any ``n_nodes`` without extra configuration.
+All randomness — anchor placement, anchor waypoints/speeds, formation
+offsets — comes from the single ``rng`` handed in by the mobility axis
+model (the shared ``"mobility"`` substream).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.util.geometry import Arena
+
+
+class PlatoonMobility(MobilityModel):
+    """Convoy motion: random-waypoint anchors plus fixed formation offsets.
+
+    Parameters
+    ----------
+    platoon_count:
+        How many convoys share the arena (each node joins platoon
+        ``id mod platoon_count``).
+    spread:
+        Formation radius: per-node offsets are uniform in
+        ``[-spread, spread]^2`` around the anchor, metres.
+    v_min, v_max, pause_time:
+        Anchor way-point kinematics (same semantics as
+        :class:`~repro.mobility.random_waypoint.RandomWaypoint`).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        arena: Arena,
+        platoon_count: int,
+        spread: float,
+        v_min: float,
+        v_max: float,
+        pause_time: float = 0.0,
+        rng: np.random.Generator = None,
+    ) -> None:
+        super().__init__(n_nodes, arena)
+        if rng is None:
+            raise ValueError("PlatoonMobility requires an rng")
+        if platoon_count < 1:
+            raise ValueError("platoon_count must be >= 1")
+        if spread < 0:
+            raise ValueError("spread must be non-negative")
+        self.platoon_count = int(min(platoon_count, n_nodes))
+        self.spread = float(spread)
+        #: node -> platoon assignment (deterministic round-robin)
+        self.assignment = np.arange(n_nodes) % self.platoon_count
+        self._anchors = RandomWaypoint(
+            self.platoon_count,
+            arena,
+            v_min=v_min,
+            v_max=v_max,
+            pause_time=pause_time,
+            rng=rng,
+        )
+        self._offsets = rng.uniform(-self.spread, self.spread, size=(n_nodes, 2))
+
+    def _positions_at(self, t: float) -> np.ndarray:
+        anchors = self._anchors.positions(t)
+        pos = anchors[self.assignment] + self._offsets
+        np.clip(pos[:, 0], 0.0, self.arena.width, out=pos[:, 0])
+        np.clip(pos[:, 1], 0.0, self.arena.height, out=pos[:, 1])
+        return pos

@@ -201,6 +201,11 @@ class Network:
         ]
         self._pos_cache_t = -1.0
         self._pos_cache: Optional[np.ndarray] = None
+        # multi-group side tables (repro.groups).  Group 0 stays on the
+        # historical per-node flags; groups 1..k-1 live here only.
+        self.groups: list = []
+        self._group_sources: Dict[int, NodeId] = {}
+        self._group_receivers: Dict[int, frozenset] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -238,6 +243,53 @@ class Network:
         self.nodes[source].is_member = True
         for m in members:
             self.nodes[m].is_member = True
+
+    def set_groups(self, groups) -> None:
+        """Declare k concurrent multicast groups (``GroupSpec`` sequence).
+
+        Group 0 is installed through :meth:`set_group` — the per-node
+        ``is_member``/``is_source`` flags every single-group code path
+        reads — so a one-group call is indistinguishable from the
+        historical API.  Groups 1..k-1 go into side tables consulted by
+        the per-group query methods below.
+        """
+        groups = list(groups)
+        if not groups or groups[0].gid != 0:
+            raise ValueError("set_groups needs group 0 first")
+        self.groups = groups
+        self.set_group(groups[0].source, groups[0].receivers)
+        self._group_sources = {g.gid: g.source for g in groups}
+        self._group_receivers = {
+            g.gid: frozenset(g.receivers) for g in groups
+        }
+
+    def group_source_of(self, gid: int) -> NodeId:
+        """The source node of group ``gid`` (0 = the historical group)."""
+        if gid == 0 and not self._group_sources:
+            return self.source
+        return self._group_sources[gid]
+
+    def group_receivers_of(self, gid: int) -> frozenset:
+        """Receiver set of group ``gid`` (source excluded)."""
+        if gid == 0 and not self._group_receivers:
+            return frozenset(self.receivers)
+        return self._group_receivers[gid]
+
+    def is_group_member(self, gid: int, v: NodeId) -> bool:
+        """Membership (source or receiver) of node ``v`` in group ``gid``.
+
+        Group 0 delegates to the live per-node flags so mid-run churn
+        (the ``rotating`` membership model) stays visible.
+        """
+        if gid == 0:
+            return self.nodes[v].is_member
+        return v == self._group_sources[gid] or v in self._group_receivers[gid]
+
+    def is_group_source(self, gid: int, v: NodeId) -> bool:
+        """Whether node ``v`` sources group ``gid``."""
+        if gid == 0:
+            return self.nodes[v].is_source
+        return v == self._group_sources[gid]
 
     def update_membership(
         self, joins: Sequence[NodeId] = (), leaves: Sequence[NodeId] = ()

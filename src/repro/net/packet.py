@@ -61,6 +61,11 @@ class Packet:
         Protocol-defined headers (beacon state, RREQ ids, ...).
     created_at:
         End-to-end creation time (preserved across relays for delay).
+    group:
+        Multicast session id (0 = the historical single group).  Frames
+        from different groups share the medium and collide like any
+        others; the tag only scopes *interpretation* — agents of group g
+        ignore frames tagged for other groups.
     uid:
         Unique per-frame id (fresh for every transmission).
     """
@@ -72,6 +77,7 @@ class Packet:
     size_bytes: int
     payload: Dict[str, Any] = field(default_factory=dict)
     created_at: float = 0.0
+    group: int = 0
     uid: int = field(default_factory=_next_uid)
 
     def __post_init__(self) -> None:
@@ -95,8 +101,9 @@ class Packet:
 
     @property
     def flow_key(self) -> tuple:
-        """End-to-end identity ``(origin, seq, kind)`` stable across relays."""
-        return (self.origin, self.seq, self.kind)
+        """End-to-end identity ``(origin, seq, kind, group)`` stable
+        across relays."""
+        return (self.origin, self.seq, self.kind, self.group)
 
     def relay(self, new_src: NodeId, extra_payload: Optional[Dict[str, Any]] = None) -> "Packet":
         """Clone this packet for retransmission by ``new_src``.
@@ -115,4 +122,5 @@ class Packet:
             size_bytes=self.size_bytes,
             payload=payload,
             created_at=self.created_at,
+            group=self.group,
         )

@@ -48,19 +48,27 @@ class MulticastAgent(ProtocolAgent):
     #: gives the paper's source rate)
     DATA_SIZE = 512
 
-    def __init__(self, node: Node) -> None:
+    def __init__(self, node: Node, group_id: int = 0) -> None:
         super().__init__(node)
+        #: which multicast session this agent serves.  0 is the
+        #: historical single group (per-node flags); agents for groups
+        #: 1..k-1 read the network's group side tables instead.
+        self.group_id = int(group_id)
         self.dups = DuplicateCache()
         self._data_seq = 0
 
     # ------------------------------------------------------------------
     @property
     def is_member(self) -> bool:
-        return self.node.is_member
+        if self.group_id == 0:
+            return self.node.is_member
+        return self.network.is_group_member(self.group_id, self.node.id)
 
     @property
     def is_source(self) -> bool:
-        return self.node.is_source
+        if self.group_id == 0:
+            return self.node.is_source
+        return self.network.is_group_source(self.group_id, self.node.id)
 
     @property
     def hub(self):
@@ -83,6 +91,7 @@ class MulticastAgent(ProtocolAgent):
             seq=self._data_seq,
             size_bytes=size_bytes or self.DATA_SIZE,
             created_at=self.sim.now,
+            group=self.group_id,
         )
         self._data_seq += 1
         if self.hub is not None:
@@ -119,6 +128,7 @@ class MulticastAgent(ProtocolAgent):
             size_bytes=size_bytes,
             payload=payload,
             created_at=self.sim.now,
+            group=self.group_id,
         )
         self.node.send(packet, tx_range if tx_range is not None else self.max_range)
         return packet

@@ -282,8 +282,9 @@ class SSSPSTAgent(MulticastAgent):
         metric: CostMetric,
         config: Optional[SSSPSTConfig] = None,
         n_nodes: Optional[int] = None,
+        group_id: int = 0,
     ) -> None:
-        super().__init__(node)
+        super().__init__(node, group_id)
         self.metric = metric
         self.config = config or SSSPSTConfig()
         self.n_nodes = n_nodes if n_nodes is not None else node.network.n
@@ -318,7 +319,15 @@ class SSSPSTAgent(MulticastAgent):
 
     def start(self) -> None:
         interval = self.config.beacon_interval
-        stream = self.network.streams.derive("beacon", self.node.id)
+        # Group 0 keeps the historical stream label draw-for-draw (the
+        # single-group bit-identity contract); extra groups get their own
+        # independent beacon substreams.
+        if self.group_id == 0:
+            stream = self.network.streams.derive("beacon", self.node.id)
+        else:
+            stream = self.network.streams.derive(
+                "beacon", self.node.id, self.group_id
+            )
         activation = self.config.activation
         if activation in ("distributed", "randomized"):
             # Historical default, draw-for-draw: random phase + jitter.
@@ -531,6 +540,8 @@ class SSSPSTAgent(MulticastAgent):
     # Reception
     # ------------------------------------------------------------------
     def handle_packet(self, packet: Packet) -> bool:
+        if packet.group != self.group_id:
+            return False  # another session's frames: overheard garbage
         if packet.kind is PacketKind.BEACON:
             info = self.table.update(
                 packet.src,

@@ -126,13 +126,14 @@ class TestSweeps:
 
 class TestFigureRegistry:
     def test_all_ten_figures_defined(self):
-        # the paper's ten figures plus the daemon-axis, rounds-backend
-        # and mobility-model extension figures
+        # the paper's ten figures plus the daemon-axis, rounds-backend,
+        # mobility-model and multi-group extension figures
         assert set(FIGURES) == {f"fig{n:02d}" for n in range(7, 17)} | {
             "figd01",
             "figd02",
             "figd03",
             "figm01",
+            "figg01",
         }
 
     def test_every_figure_has_checks(self):

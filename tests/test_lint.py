@@ -231,7 +231,7 @@ class TestContractTables:
         assert code == 0
         out = capsys.readouterr().out
         assert "# hash-participating fields (23):" in out
-        assert "# hash-neutral at default (11):" in out
+        assert "# hash-neutral at default (14):" in out
         assert "daemon='distributed'" in out
 
     def test_numpy_twins_cover_compiled_registry(self):

@@ -151,6 +151,7 @@ class TestRegistry:
             "gauss-markov",
             "random-walk",
             "static",
+            "platoon",
             "trace",
         )
         assert MODEL_NAMES["membership"] == (
